@@ -1,0 +1,104 @@
+// Command calibrate probes the synthetic SPEC profiles against ANVIL's
+// detector: per-window LLC miss rates, stage-1 crossing fractions, and
+// sampling-window locality peaks. It exists to keep the workload
+// calibration honest when profiles or detector parameters change.
+//
+// Usage:
+//
+//	calibrate          # miss-rate table for all profiles
+//	calibrate fp       # detector-side view: crossings, peaks, FP rates
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/anvil"
+	"repro/internal/machine"
+	"repro/internal/pmu"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("calibrate: ")
+	if len(os.Args) > 1 && os.Args[1] == "fp" {
+		for _, prof := range workload.SPEC2006() {
+			fpProbe(prof, 4*time.Second)
+		}
+		return
+	}
+	missRates()
+}
+
+// missRates prints each profile's per-6ms LLC miss distribution.
+func missRates() {
+	for _, prof := range workload.SPEC2006() {
+		cfg := machine.DefaultConfig()
+		cfg.Cores = 1
+		m, err := machine.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := m.Spawn(0, workload.MustNew(prof)); err != nil {
+			log.Fatal(err)
+		}
+		var rates []float64
+		last := uint64(0)
+		for i := 0; i < 50; i++ {
+			if err := m.Run(m.Time() + m.Freq.Cycles(6*time.Millisecond)); err != nil {
+				log.Fatal(err)
+			}
+			cur := m.Mem.PMU.Read(pmu.EvLLCMiss)
+			rates = append(rates, float64(cur-last))
+			last = cur
+		}
+		min, max, sum, cross := rates[0], rates[0], 0.0, 0
+		for _, r := range rates {
+			if r < min {
+				min = r
+			}
+			if r > max {
+				max = r
+			}
+			sum += r
+			if r >= 20000 {
+				cross++
+			}
+		}
+		fmt.Printf("%-12s avg=%6.0f min=%6.0f max=%6.0f cross=%d/50\n",
+			prof.Name, sum/50, min, max, cross)
+	}
+}
+
+// fpProbe runs one profile under ANVIL-baseline and reports crossing and
+// false-positive behaviour.
+func fpProbe(prof workload.Profile, dur time.Duration) {
+	cfg := machine.DefaultConfig()
+	cfg.Cores = 1
+	m, err := machine.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := m.Spawn(0, workload.MustNew(prof)); err != nil {
+		log.Fatal(err)
+	}
+	d, err := anvil.New(m, anvil.Baseline(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d.Start()
+	if err := m.Run(m.Freq.Cycles(dur)); err != nil {
+		log.Fatal(err)
+	}
+	st := d.Stats()
+	hist := map[int]int{}
+	for _, p := range st.WindowPeaks {
+		hist[p.MaxRow]++
+	}
+	fmt.Printf("%-12s cross=%4.0f%% sampleWins=%3d rowPeaks=%v det/s=%.2f refr/s=%.2f\n",
+		prof.Name, 100*st.CrossingFraction(), len(st.WindowPeaks),
+		hist, float64(len(st.Detections))/dur.Seconds(), float64(st.Refreshes)/dur.Seconds())
+}

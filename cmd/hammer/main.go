@@ -1,0 +1,115 @@
+// Command hammer demonstrates the three rowhammer attacks of the paper on
+// an unprotected simulated machine, reporting time-to-first-flip and the
+// access counts of Table 1.
+//
+// Usage:
+//
+//	hammer [-kind single-flush|double-flush|clflush-free] [-refresh-scale N]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/cache"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hammer: ")
+	kind := flag.String("kind", "double-flush", "attack: single-flush, double-flush, clflush-free")
+	refreshScale := flag.Int("refresh-scale", 1, "DRAM refresh-rate multiplier (2 = the 32ms mitigation)")
+	deadline := flag.Duration("deadline", 192*time.Millisecond, "give up after this much simulated time")
+	flag.Parse()
+	if err := run(*kind, *refreshScale, *deadline); err != nil {
+		log.Print(err)
+		os.Exit(1)
+	}
+}
+
+func run(kind string, refreshScale int, deadline time.Duration) error {
+	cfg := machine.DefaultConfig()
+	cfg.Cores = 1
+	if refreshScale > 1 {
+		cfg.Memory.DRAM.Timing = cfg.Memory.DRAM.Timing.WithRefreshScale(refreshScale)
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		return err
+	}
+	opts := attack.Options{
+		Mapper:     m.Mem.DRAM.Mapper(),
+		LLC:        cache.SandyBridgeConfig().Levels[2],
+		AutoTarget: true,
+		BufferMB:   16,
+		Contiguous: true,
+	}
+	var (
+		prog machine.Program
+		h    interface {
+			Victim() attack.Target
+			AggressorAccesses() uint64
+			Iterations() uint64
+		}
+	)
+	switch kind {
+	case "single-flush":
+		a, err := attack.NewSingleSidedFlush(opts)
+		if err != nil {
+			return err
+		}
+		prog, h = a, a
+	case "double-flush":
+		a, err := attack.NewDoubleSidedFlush(opts)
+		if err != nil {
+			return err
+		}
+		prog, h = a, a
+	case "clflush-free":
+		a, err := attack.NewClflushFree(opts)
+		if err != nil {
+			return err
+		}
+		prog, h = a, a
+		defer func() {
+			x, y := a.Patterns()
+			fmt.Printf("eviction patterns: %d accesses/iteration, %d misses steady-state (sets X/Y aggressor slots %d/%d)\n",
+				len(x.Seq), x.MissesPerIteration, x.AggressorSlot, y.AggressorSlot)
+		}()
+	default:
+		return fmt.Errorf("unknown attack kind %q", kind)
+	}
+	if _, err := m.Spawn(0, prog); err != nil {
+		return err
+	}
+	v := h.Victim()
+	m.Mem.DRAM.PlantWeakRow(v.Bank, v.VictimRow, 400_000)
+	fmt.Printf("%s hammering bank %d rows %d/%d around victim row %d (refresh window %v)\n",
+		kind, v.Bank, v.VictimRow-1, v.VictimRow+1, v.VictimRow,
+		m.Freq.Duration(cfg.Memory.DRAM.Timing.RefreshPeriod))
+
+	slice := m.Freq.Cycles(250 * time.Microsecond)
+	end := m.Freq.Cycles(deadline)
+	for now := sim.Cycles(0); now < end; now += slice {
+		if err := m.Run(now + slice); err != nil && !errors.Is(err, machine.ErrAllDone) {
+			return err
+		}
+		if m.Mem.DRAM.FlipCount() > 0 {
+			f := m.Mem.DRAM.Flips()[0]
+			fmt.Printf("BIT FLIP: %v\n", f)
+			fmt.Printf("time to first flip: %.1f ms\n", m.Freq.Millis(f.Time))
+			fmt.Printf("aggressor row accesses: %d (%d iterations)\n", h.AggressorAccesses(), h.Iterations())
+			return nil
+		}
+	}
+	fmt.Printf("no flip within %v (%d aggressor accesses); the refresh sweep wins at this rate\n",
+		deadline, h.AggressorAccesses())
+	return nil
+}

@@ -1,0 +1,142 @@
+// Command tables regenerates every table and figure of the ANVIL paper's
+// evaluation on the simulated machine and prints them in order.
+//
+// Usage:
+//
+//	tables [-quick] [-only table1,table3,...]
+//
+// -quick shrinks run lengths (useful for smoke tests); -only selects a
+// comma-separated subset of: table1, figure1, section21, section22, table3,
+// table4, figure3, figure4, table5, section45, defenses.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tables: ")
+	quick := flag.Bool("quick", false, "shrink experiment durations")
+	only := flag.String("only", "", "comma-separated subset of experiments to run")
+	flag.Parse()
+
+	cfg := experiments.Config{Quick: *quick}
+	selected := map[string]bool{}
+	for _, s := range strings.Split(*only, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			selected[s] = true
+		}
+	}
+	want := func(name string) bool { return len(selected) == 0 || selected[name] }
+
+	type step struct {
+		name string
+		run  func() (string, error)
+	}
+	steps := []step{
+		{"table1", func() (string, error) {
+			rows, err := experiments.Table1(cfg)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderTable1(rows), nil
+		}},
+		{"figure1", func() (string, error) {
+			r, err := experiments.Figure1(cfg)
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("Figure 1: access patterns\n"+
+				"  (a) CLFLUSH-based: %d ops/iteration, %d DRAM row accesses\n"+
+				"  (b) CLFLUSH-free:  %d loads/iteration, %d LLC misses (aggressor always misses: %v)\n",
+				r.FlushSeqLen, r.FlushMissesPerIter, r.FreeSeqLen, r.FreeMissesPerIter, r.AggressorAlwaysMisses), nil
+		}},
+		{"section21", func() (string, error) {
+			r, err := experiments.Section21(cfg)
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("Section 2.1: double refresh rate bypass\n"+
+				"  refresh window %v, flipped: %v, time to first flip %.1f ms\n",
+				r.RefreshWindow, r.Flipped, float64(r.TimeToFlip)/float64(time.Millisecond)), nil
+		}},
+		{"section22", func() (string, error) {
+			scores, err := experiments.Section22(cfg)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderSection22(scores), nil
+		}},
+		{"table3", func() (string, error) {
+			rows, err := experiments.Table3(cfg)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderTable3(rows), nil
+		}},
+		{"table4", func() (string, error) {
+			rows, err := experiments.Table4(cfg)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderTable4(rows), nil
+		}},
+		{"figure3", func() (string, error) {
+			rows, err := experiments.Figure3(cfg)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderFigure3(rows), nil
+		}},
+		{"figure4", func() (string, error) {
+			rows, err := experiments.Figure4(cfg)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderFigure4(rows), nil
+		}},
+		{"table5", func() (string, error) {
+			rows, err := experiments.Table5(cfg)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderTable5(rows), nil
+		}},
+		{"section45", func() (string, error) {
+			rows, err := experiments.Section45(cfg)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderSection45(rows), nil
+		}},
+		{"defenses", func() (string, error) {
+			rows, err := experiments.Defenses(cfg)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderDefenses(rows), nil
+		}},
+	}
+
+	for _, s := range steps {
+		if !want(s.name) {
+			continue
+		}
+		start := time.Now()
+		out, err := s.run()
+		if err != nil {
+			log.Printf("%s failed: %v", s.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("  [%s regenerated in %.1fs]\n\n", s.name, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,164 @@
+// Command trace replays a recorded memory trace on the simulated machine,
+// optionally under ANVIL, and reports cache, DRAM and detector behaviour.
+// The trace format is one op per line: "L <addr>", "S <addr>", "F <addr>",
+// "C <cycles>" (see internal/workload.ParseTrace).
+//
+// Usage:
+//
+//	trace -file access.trace [-loops N] [-anvil] [-detailed-dram]
+//	trace -demo > demo.trace          # emit a sample trace
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/anvil"
+	"repro/internal/dram"
+	"repro/internal/machine"
+	"repro/internal/pmu"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("trace: ")
+	var (
+		file     = flag.String("file", "", "trace file to replay")
+		loops    = flag.Uint64("loops", 1, "times to replay the trace (0 = forever, bounded by -max-ms)")
+		useANVIL = flag.Bool("anvil", false, "attach the ANVIL detector")
+		detailed = flag.Bool("detailed-dram", false, "use the command-level DRAM timing engine")
+		maxMS    = flag.Uint64("max-ms", 1000, "simulated-time cap in milliseconds")
+		demo     = flag.Bool("demo", false, "print a demonstration trace and exit")
+		record   = flag.String("record", "", "record a SPEC profile's stream to stdout instead of replaying")
+		ops      = flag.Uint64("ops", 10_000, "memory operations to record with -record")
+	)
+	flag.Parse()
+
+	if *demo {
+		emitDemo()
+		return
+	}
+	if *record != "" {
+		if err := recordProfile(*record, *ops); err != nil {
+			log.Print(err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *file == "" {
+		log.Print("need -file (or -demo)")
+		os.Exit(2)
+	}
+	if err := run(*file, *loops, *useANVIL, *detailed, *maxMS); err != nil {
+		log.Print(err)
+		os.Exit(1)
+	}
+}
+
+func run(file string, loops uint64, useANVIL, detailed bool, maxMS uint64) error {
+	f, err := os.Open(file)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := workload.ParseTrace(f)
+	if err != nil {
+		return err
+	}
+	prog, err := workload.NewTraceProgram(file, recs, loops)
+	if err != nil {
+		return err
+	}
+
+	cfg := machine.DefaultConfig()
+	cfg.Cores = 1
+	if detailed {
+		cfg.Memory.DRAM.Detailed = dram.Detailed(cfg.Freq)
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		return err
+	}
+	if _, err := m.Spawn(0, prog); err != nil {
+		return err
+	}
+	var det *anvil.Detector
+	if useANVIL {
+		if det, err = anvil.New(m, anvil.Baseline(), nil); err != nil {
+			return err
+		}
+		det.Start()
+	}
+	err = m.Run(m.Freq.Cycles(time.Duration(maxMS) * time.Millisecond))
+	if err != nil && !errors.Is(err, machine.ErrAllDone) {
+		return err
+	}
+	finished := errors.Is(err, machine.ErrAllDone)
+
+	st := m.Cores[0].Stats
+	fmt.Printf("replayed %d records x %d loops (%s)\n", len(recs), loops,
+		map[bool]string{true: "completed", false: "hit the time cap"}[finished])
+	fmt.Printf("simulated time: %.3f ms, ops: %d (%d loads, %d stores, %d flushes)\n",
+		m.Freq.Millis(m.Cores[0].Now), st.Ops, st.Loads, st.Stores, st.Flushes)
+	hs := m.Mem.Caches.Stats()
+	fmt.Printf("caches: %d LLC misses (%.2f%% of accesses)\n", hs.LLCMisses,
+		100*float64(hs.LLCMisses)/float64(max(1, st.Loads+st.Stores)))
+	ds := m.Mem.DRAM.Stats()
+	fmt.Printf("DRAM: %d activations, %d row hits, %d flips\n", ds.Activations, ds.RowHits, ds.Flips)
+	fmt.Printf("PMU: %d misses counted\n", m.Mem.PMU.Read(pmu.EvLLCMiss))
+	if det != nil {
+		s := det.Stats()
+		fmt.Printf("ANVIL: %d/%d windows crossed, %d detections, %d refreshes\n",
+			s.Stage1Crossings, s.Stage1Windows, len(s.Detections), s.Refreshes)
+	}
+	return nil
+}
+
+func max(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// emitDemo writes a small trace that thrashes one DRAM row pair.
+func emitDemo() {
+	var recs []workload.Record
+	for i := 0; i < 64; i++ {
+		recs = append(recs,
+			workload.Record{Kind: machine.OpLoad, VA: 0x10_0000 + uint64(i%8)*64},
+			workload.Record{Kind: machine.OpCompute, Cycles: 120},
+			workload.Record{Kind: machine.OpLoad, VA: 0x40_0000 + uint64(i)*4096},
+		)
+	}
+	if err := workload.FormatTrace(os.Stdout, recs); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// recordProfile runs a synthetic profile and prints its operation stream.
+func recordProfile(name string, ops uint64) error {
+	prof, ok := workload.ByName(name)
+	if !ok {
+		return fmt.Errorf("unknown profile %q", name)
+	}
+	rec := workload.NewRecorder(workload.MustNew(prof).WithOpLimit(ops), 0)
+	cfg := machine.DefaultConfig()
+	cfg.Cores = 1
+	m, err := machine.New(cfg)
+	if err != nil {
+		return err
+	}
+	if _, err := m.Spawn(0, rec); err != nil {
+		return err
+	}
+	if err := m.Run(1 << 62); err != nil && !errors.Is(err, machine.ErrAllDone) {
+		return err
+	}
+	return workload.FormatTrace(os.Stdout, rec.Records())
+}

@@ -1,0 +1,241 @@
+package attack
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// This file implements the side-channel corollary of §2.2: "the technique
+// used in the CLFLUSH-free rowhammering attack can be used in other attacks
+// that need to flush the cache at specific addresses. For example the
+// Flush+Reload cache side-channel attack relies on the CLFLUSH instruction.
+// Our CLFLUSH-free cache flushing method can extend this attack to
+// situations where the CLFLUSH instruction is not available."
+//
+// CovertSender and CovertReceiver build an Evict+Reload covert channel over
+// a shared read-only page: the receiver evicts the probe line with an
+// eviction set (no CLFLUSH anywhere), waits out the slot, then reloads the
+// line and classifies the sender's bit from the measured latency.
+
+// CovertConfig parameterises the channel.
+type CovertConfig struct {
+	// SharedFrame is the physical frame of the shared page (a shared
+	// library page in the real attack); the harness allocates it and both
+	// processes map it.
+	SharedFrame uint64
+	// SharedVA is where each process maps the shared page.
+	SharedVA uint64
+	// SlotCycles is the length of one bit slot.
+	SlotCycles sim.Cycles
+	// HitThreshold divides cache-hit from DRAM latencies.
+	HitThreshold sim.Cycles
+	// EvictLines is how many congruent lines the receiver walks to evict
+	// the probe line (comfortably above the associativity).
+	EvictLines int
+	// Mapper / LLC / BufferMB / Contiguous configure the receiver's
+	// eviction-set construction, as in Options.
+	Options Options
+}
+
+// DefaultCovertConfig returns a working configuration for the standard
+// machine. The harness must fill in SharedFrame.
+func DefaultCovertConfig(opts Options) CovertConfig {
+	return CovertConfig{
+		SharedVA:     0x2000_0000,
+		SlotCycles:   120_000,
+		HitThreshold: 60,
+		EvictLines:   24,
+		Options:      opts,
+	}
+}
+
+func (c CovertConfig) validate() error {
+	if c.SlotCycles == 0 || c.HitThreshold == 0 || c.EvictLines <= 0 {
+		return fmt.Errorf("attack: covert config incomplete: %+v", c)
+	}
+	return c.Options.validate()
+}
+
+// CovertSender transmits one bit per slot: touching the shared line for a
+// 1, staying idle for a 0.
+type CovertSender struct {
+	cfg    CovertConfig
+	bits   []bool
+	proc   *machine.Proc
+	toggle bool
+}
+
+// NewCovertSender builds the sender for the given bit string.
+func NewCovertSender(cfg CovertConfig, bits []bool) (*CovertSender, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(bits) == 0 {
+		return nil, fmt.Errorf("attack: empty covert message")
+	}
+	return &CovertSender{cfg: cfg, bits: bits}, nil
+}
+
+// Name implements machine.Program.
+func (s *CovertSender) Name() string { return "covert-sender" }
+
+// Init implements machine.Program.
+func (s *CovertSender) Init(p *machine.Proc) error {
+	s.proc = p
+	return p.AS.MapFrames(s.cfg.SharedVA, []uint64{s.cfg.SharedFrame})
+}
+
+// Next implements machine.Program.
+func (s *CovertSender) Next() machine.Op {
+	slot := int(s.proc.Time() / s.cfg.SlotCycles)
+	if slot >= len(s.bits) {
+		return machine.Op{Kind: machine.OpDone}
+	}
+	if s.bits[slot] {
+		// Keep the line warm throughout the slot (touch, pause, touch...).
+		s.toggle = !s.toggle
+		if s.toggle {
+			return machine.Op{Kind: machine.OpLoad, VA: s.cfg.SharedVA}
+		}
+		return machine.Op{Kind: machine.OpCompute, Cycles: 300}
+	}
+	return machine.Op{Kind: machine.OpCompute, Cycles: 400}
+}
+
+// CovertReceiver evicts and reloads the shared line once per slot.
+type CovertReceiver struct {
+	cfg   CovertConfig
+	slots int
+	proc  *machine.Proc
+
+	evict      []uint64
+	evictPos   int
+	evictSlot  int // slot the eviction budget belongs to
+	evictSpent int // eviction accesses already issued this slot
+
+	probedSlot  int // slot whose probe has been issued
+	pendingSlot int // slot whose probe result is pending in LastLatency
+	bits        []bool
+	latencies   []sim.Cycles
+}
+
+// NewCovertReceiver builds the receiver for the given number of slots.
+func NewCovertReceiver(cfg CovertConfig, slots int) (*CovertReceiver, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if slots <= 0 {
+		return nil, fmt.Errorf("attack: receiver needs at least one slot")
+	}
+	return &CovertReceiver{cfg: cfg, slots: slots, probedSlot: -1, pendingSlot: -1}, nil
+}
+
+// Name implements machine.Program.
+func (r *CovertReceiver) Name() string { return "covert-receiver" }
+
+// Init implements machine.Program: maps the shared page and builds the
+// eviction set for it via pagemap, exactly like the rowhammer attack.
+func (r *CovertReceiver) Init(p *machine.Proc) error {
+	r.proc = p
+	if err := p.AS.MapFrames(r.cfg.SharedVA, []uint64{r.cfg.SharedFrame}); err != nil {
+		return err
+	}
+	bufLen := uint64(r.cfg.Options.BufferMB) << 20
+	xlate, err := mapBuffer(p, attackBufBase, bufLen, r.cfg.Options.Contiguous)
+	if err != nil {
+		return err
+	}
+	spec, err := NewCacheSpec(r.cfg.Options.LLC)
+	if err != nil {
+		return err
+	}
+	es, err := buildEvictionSet(spec, r.cfg.Options.Mapper, xlate, r.cfg.SharedVA,
+		attackBufBase, bufLen, r.cfg.EvictLines, nil, 0)
+	if err != nil {
+		return err
+	}
+	r.evict = es.Conflicts
+	return nil
+}
+
+// Bits returns the received bits (one per completed slot).
+func (r *CovertReceiver) Bits() []bool { return r.bits }
+
+// Latencies returns the probe latencies, for inspection.
+func (r *CovertReceiver) Latencies() []sim.Cycles { return r.latencies }
+
+// Next implements machine.Program.
+func (r *CovertReceiver) Next() machine.Op {
+	// Harvest the pending probe's latency first.
+	if r.pendingSlot >= 0 {
+		lat := r.proc.LastLatency
+		r.latencies = append(r.latencies, lat)
+		r.bits = append(r.bits, lat <= r.cfg.HitThreshold)
+		r.pendingSlot = -1
+	}
+	t := r.proc.Time()
+	slot := int(t / r.cfg.SlotCycles)
+	if slot >= r.slots {
+		return machine.Op{Kind: machine.OpDone}
+	}
+	if slot != r.evictSlot {
+		r.evictSlot = slot
+		r.evictSpent = 0
+	}
+	phase := t % r.cfg.SlotCycles
+	evictEnd := r.cfg.SlotCycles * 3 / 4
+	switch {
+	case phase < evictEnd && r.probedSlot < slot && r.evictSpent < 3*len(r.evict):
+		// Eviction phase: a few walks over the congruent lines.
+		va := r.evict[r.evictPos%len(r.evict)]
+		r.evictPos++
+		r.evictSpent++
+		return machine.Op{Kind: machine.OpLoad, VA: va}
+	case phase < evictEnd:
+		return machine.Op{Kind: machine.OpCompute, Cycles: 200}
+	case r.probedSlot < slot:
+		// Probe: reload the shared line; classify on the next call.
+		r.probedSlot = slot
+		r.pendingSlot = slot
+		return machine.Op{Kind: machine.OpLoad, VA: r.cfg.SharedVA}
+	default:
+		// Wait out the slot.
+		return machine.Op{Kind: machine.OpCompute, Cycles: 200}
+	}
+}
+
+// DecodeBits packs received bits into a byte string (MSB first).
+func DecodeBits(bits []bool) []byte {
+	out := make([]byte, 0, (len(bits)+7)/8)
+	for i := 0; i+8 <= len(bits); i += 8 {
+		var b byte
+		for j := 0; j < 8; j++ {
+			b <<= 1
+			if bits[i+j] {
+				b |= 1
+			}
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// EncodeBits unpacks a byte string into bits (MSB first).
+func EncodeBits(data []byte) []bool {
+	out := make([]bool, 0, len(data)*8)
+	for _, b := range data {
+		for j := 7; j >= 0; j-- {
+			out = append(out, b>>uint(j)&1 == 1)
+		}
+	}
+	return out
+}
+
+var (
+	_ machine.Program = (*CovertSender)(nil)
+	_ machine.Program = (*CovertReceiver)(nil)
+	_                 = vm.PageSize
+)

@@ -1,0 +1,150 @@
+package attack
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestEncodeDecodeBitsRoundTrip(t *testing.T) {
+	msg := []byte("anvil")
+	bits := EncodeBits(msg)
+	if len(bits) != len(msg)*8 {
+		t.Fatalf("bits = %d", len(bits))
+	}
+	if got := DecodeBits(bits); !bytes.Equal(got, msg) {
+		t.Fatalf("round trip = %q", got)
+	}
+	// Trailing partial bytes are dropped.
+	if got := DecodeBits(bits[:10]); len(got) != 1 {
+		t.Fatalf("partial decode = %v", got)
+	}
+}
+
+func TestCovertConfigValidation(t *testing.T) {
+	m := testMachine(t)
+	cfg := DefaultCovertConfig(baseOptions(m))
+	if _, err := NewCovertSender(cfg, nil); err == nil {
+		t.Error("empty message accepted")
+	}
+	if _, err := NewCovertReceiver(cfg, 0); err == nil {
+		t.Error("zero slots accepted")
+	}
+	bad := cfg
+	bad.SlotCycles = 0
+	if _, err := NewCovertSender(bad, []bool{true}); err == nil {
+		t.Error("zero slot length accepted")
+	}
+}
+
+// TestCovertChannelTransfersData is the §2.2 side-channel demonstration:
+// a message crosses process boundaries through shared-page cache state,
+// with the receiver flushing via eviction sets — zero CLFLUSH anywhere.
+func TestCovertChannelTransfersData(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.Cores = 2
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := m.Kernel.Alloc.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := DefaultCovertConfig(baseOptions(m))
+	cc.SharedFrame = frame
+
+	msg := []byte("ok!")
+	bits := EncodeBits(msg)
+	snd, err := NewCovertSender(cc, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcv, err := NewCovertReceiver(cc, len(bits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Spawn(0, snd); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Spawn(1, rcv); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(1 << 40); !errors.Is(err, machine.ErrAllDone) {
+		t.Fatal(err)
+	}
+	got := rcv.Bits()
+	if len(got) != len(bits) {
+		t.Fatalf("received %d bits, want %d", len(got), len(bits))
+	}
+	match := 0
+	for i := range bits {
+		if bits[i] == got[i] {
+			match++
+		}
+	}
+	acc := float64(match) / float64(len(bits))
+	if acc < 0.95 {
+		t.Fatalf("bit accuracy %.2f; sent %v got %v (latencies %v)",
+			acc, bits, got, rcv.Latencies())
+	}
+	if decoded := DecodeBits(got); !bytes.Equal(decoded, msg) {
+		t.Logf("decoded %q from %q at %.0f%% bit accuracy", decoded, msg, 100*acc)
+	}
+	// No CLFLUSH was executed by either side.
+	if m.Cores[0].Stats.Flushes+m.Cores[1].Stats.Flushes != 0 {
+		t.Error("covert channel used CLFLUSH")
+	}
+}
+
+// TestCovertChannelAllZeros / AllOnes: degenerate patterns must decode too
+// (no reliance on transitions).
+func TestCovertChannelConstantPatterns(t *testing.T) {
+	for _, bit := range []bool{false, true} {
+		cfg := machine.DefaultConfig()
+		cfg.Cores = 2
+		m, err := machine.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frame, err := m.Kernel.Alloc.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc := DefaultCovertConfig(baseOptions(m))
+		cc.SharedFrame = frame
+		bits := make([]bool, 16)
+		for i := range bits {
+			bits[i] = bit
+		}
+		snd, err := NewCovertSender(cc, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rcv, err := NewCovertReceiver(cc, len(bits))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Spawn(0, snd); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Spawn(1, rcv); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(1 << 40); !errors.Is(err, machine.ErrAllDone) {
+			t.Fatal(err)
+		}
+		wrong := 0
+		for _, g := range rcv.Bits() {
+			if g != bit {
+				wrong++
+			}
+		}
+		if wrong > 1 {
+			t.Errorf("constant %v pattern: %d/%d wrong (latencies %v)",
+				bit, wrong, len(bits), rcv.Latencies())
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package attack
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// Pattern is the replacement-policy-aware access sequence of the
+// CLFLUSH-free attack: one cyclic iteration over a 13-address eviction set
+// that, in steady state, misses the last-level cache on the aggressor
+// address every iteration (plus exactly one conflict address, which closes
+// the aggressor's DRAM row so the next iteration re-activates it).
+type Pattern struct {
+	// Addrs holds the ways+1 virtual addresses; Seq indexes into it.
+	Addrs []uint64
+	// Seq is one iteration of the access sequence.
+	Seq []int
+	// AggressorSlot is the index in Addrs holding the aggressor.
+	AggressorSlot int
+	// MissesPerIteration is the steady-state LLC miss count per iteration.
+	MissesPerIteration int
+}
+
+// Iteration returns the virtual addresses of one iteration, in order.
+func (p Pattern) Iteration() []uint64 {
+	out := make([]uint64, len(p.Seq))
+	for i, id := range p.Seq {
+		out[i] = p.Addrs[id]
+	}
+	return out
+}
+
+// templates returns candidate access sequences over n = ways+1 address
+// slots, cheapest first. The authors designed their sequence (Fig. 1b)
+// against replacement-policy simulators; the builder does the same search
+// mechanically: it tries each template on a simulated set and keeps the
+// first whose steady state misses on a stable pair of slots.
+func templates(ways int) [][]int {
+	n := ways + 1
+	cyclic := make([]int, n)
+	for i := range cyclic {
+		cyclic[i] = i
+	}
+	// The paper's Figure 1b shape, generalised from 12 ways:
+	// A, X1..X(w-2), X(w-1), X1..X(w-3), Xw
+	var fig1b []int
+	fig1b = append(fig1b, 0)
+	for i := 1; i <= ways-2; i++ {
+		fig1b = append(fig1b, i)
+	}
+	fig1b = append(fig1b, ways-1)
+	for i := 1; i <= ways-3; i++ {
+		fig1b = append(fig1b, i)
+	}
+	fig1b = append(fig1b, ways)
+	return [][]int{cyclic, fig1b}
+}
+
+// setSim simulates one fully-associative-set's worth of tag state plus a
+// replacement policy, for abstract address ids.
+type setSim struct {
+	policy   cache.Policy
+	occupant []int
+	where    map[int]int
+}
+
+func newSetSim(kind cache.PolicyKind, ways int) *setSim {
+	s := &setSim{
+		policy:   cache.MustPolicy(kind, ways, nil),
+		occupant: make([]int, ways),
+		where:    make(map[int]int),
+	}
+	for i := range s.occupant {
+		s.occupant[i] = -1
+	}
+	return s
+}
+
+// access touches the id, returning whether it missed.
+func (s *setSim) access(id int) bool {
+	if w, ok := s.where[id]; ok {
+		s.policy.Touch(w)
+		return false
+	}
+	way := -1
+	for i, o := range s.occupant {
+		if o == -1 {
+			way = i
+			break
+		}
+	}
+	if way == -1 {
+		way = s.policy.Victim()
+		delete(s.where, s.occupant[way])
+	}
+	s.occupant[way] = id
+	s.where[id] = way
+	s.policy.Touch(way)
+	return true
+}
+
+// ReplayOnPolicy replays an id sequence through a simulated set from cold
+// state and returns the per-access miss trace. The policy-inference
+// harness compares such traces against hardware-observed ones.
+func ReplayOnPolicy(kind cache.PolicyKind, ways int, seq []int) []bool {
+	s := newSetSim(kind, ways)
+	out := make([]bool, len(seq))
+	for i, id := range seq {
+		out[i] = s.access(id)
+	}
+	return out
+}
+
+// steadyState runs the template to convergence and reports, per slot, how
+// many of the measured iterations it missed in, plus total misses.
+func steadyState(kind cache.PolicyKind, ways int, seq []int) (missIters map[int]int, perIter int, stable bool) {
+	const warmup, measure = 8, 6
+	s := newSetSim(kind, ways)
+	for i := 0; i < warmup; i++ {
+		for _, id := range seq {
+			s.access(id)
+		}
+	}
+	missIters = make(map[int]int)
+	counts := make([]int, measure)
+	for i := 0; i < measure; i++ {
+		seen := map[int]bool{}
+		for _, id := range seq {
+			if s.access(id) {
+				counts[i]++
+				seen[id] = true
+			}
+		}
+		for id := range seen {
+			missIters[id]++
+		}
+	}
+	perIter = counts[0]
+	for _, c := range counts {
+		if c != perIter {
+			return missIters, perIter, false
+		}
+	}
+	return missIters, perIter, true
+}
+
+// BuildPattern searches the template family for the cheapest access
+// sequence on the given policy whose steady state (a) misses on a stable
+// set of slots every iteration and (b) allows the aggressor to occupy one
+// of those always-missing slots. The eviction set's conflict addresses
+// fill the remaining slots.
+func BuildPattern(es EvictionSet, kind cache.PolicyKind, ways int) (Pattern, error) {
+	if len(es.Conflicts) < ways {
+		return Pattern{}, fmt.Errorf("attack: need %d conflict addresses, have %d", ways, len(es.Conflicts))
+	}
+	const measure = 6
+	type candidate struct {
+		seq    []int
+		slot   int
+		misses int
+		hits   int
+	}
+	var best *candidate
+	for _, seq := range templates(ways) {
+		missIters, perIter, stable := steadyState(kind, ways, seq)
+		if !stable || perIter == 0 {
+			continue
+		}
+		// Slots that miss every measured iteration can host the aggressor.
+		slot := -1
+		for id, n := range missIters {
+			if n == measure {
+				slot = id
+				break
+			}
+		}
+		if slot < 0 {
+			continue
+		}
+		c := &candidate{seq: seq, slot: slot, misses: perIter, hits: len(seq) - perIter}
+		// Cheapest = fewest total accesses, then fewest misses.
+		if best == nil || len(c.seq) < len(best.seq) ||
+			(len(c.seq) == len(best.seq) && c.misses < best.misses) {
+			best = c
+		}
+	}
+	if best == nil {
+		return Pattern{}, fmt.Errorf("attack: no stable aggressor-missing pattern found for %s/%d-way", kind, ways)
+	}
+	p := Pattern{
+		Seq:                best.seq,
+		AggressorSlot:      best.slot,
+		MissesPerIteration: best.misses,
+		Addrs:              make([]uint64, ways+1),
+	}
+	ci := 0
+	for id := 0; id <= ways; id++ {
+		if id == best.slot {
+			p.Addrs[id] = es.Aggressor
+			continue
+		}
+		p.Addrs[id] = es.Conflicts[ci]
+		ci++
+	}
+	return p, nil
+}

@@ -1,0 +1,177 @@
+package attack
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/machine"
+	"repro/internal/pmu"
+	"repro/internal/sim"
+)
+
+// PolicyProbe reproduces the replacement-policy identification experiment of
+// §2.2: "we did this by generating a high miss-rate pattern that cyclically
+// accesses the 13 addresses in the eviction set, and using performance
+// counters (particularly the last-level cache miss counter) to determine
+// whether each access was a cache hit or a cache miss. Then we correlate
+// the performance counter results with results from different cache
+// replacement policy simulators that we built."
+//
+// The probe runs as a program on the machine, reading the LLC-miss counter
+// around each access exactly as the authors did, and records the observed
+// hit/miss trace together with the abstract id sequence it replayed.
+type PolicyProbe struct {
+	opts Options
+	pmu  *pmu.PMU // the attacker's perf-counter handle
+
+	seq    []int // id sequence (cyclic over the eviction set)
+	addrs  []uint64
+	rounds int
+
+	pos      int
+	lastMiss uint64
+	observed []bool
+	done     bool
+}
+
+// NewPolicyProbe builds the probe. It needs the attacker's perf-counter
+// handle (user-space access to the LLC miss counter) and the usual buffer
+// and mapping options. rounds is how many cyclic passes to record.
+func NewPolicyProbe(opts Options, counters *pmu.PMU, rounds int) (*PolicyProbe, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if counters == nil {
+		return nil, fmt.Errorf("attack: probe needs a perf-counter handle")
+	}
+	if opts.LLC.SizeKB == 0 {
+		return nil, fmt.Errorf("attack: probe needs the LLC model")
+	}
+	if rounds <= 0 {
+		rounds = 40
+	}
+	return &PolicyProbe{opts: opts, pmu: counters, rounds: rounds}, nil
+}
+
+// Name implements machine.Program.
+func (p *PolicyProbe) Name() string { return "policy-probe" }
+
+// Init implements machine.Program: builds one eviction set of ways+1
+// congruent addresses and lays out the cyclic probe sequence.
+func (p *PolicyProbe) Init(proc *machine.Proc) error {
+	bufLen := uint64(p.opts.BufferMB) << 20
+	xlate, err := mapBuffer(proc, attackBufBase, bufLen, p.opts.Contiguous)
+	if err != nil {
+		return err
+	}
+	spec, err := NewCacheSpec(p.opts.LLC)
+	if err != nil {
+		return err
+	}
+	base := attackBufBase + bufLen/2
+	es, err := buildEvictionSet(spec, p.opts.Mapper, xlate, base, attackBufBase, bufLen,
+		spec.Ways(), nil, 0)
+	if err != nil {
+		return err
+	}
+	p.addrs = append([]uint64{es.Aggressor}, es.Conflicts...)
+	n := len(p.addrs)
+	for r := 0; r < p.rounds; r++ {
+		for i := 0; i < n; i++ {
+			p.seq = append(p.seq, i)
+		}
+	}
+	return nil
+}
+
+// Next implements machine.Program: one load per sequence slot, reading the
+// miss counter between accesses to classify the previous access.
+func (p *PolicyProbe) Next() machine.Op {
+	// Classify the access issued in the previous step.
+	if p.pos > 0 {
+		miss := p.pmu.Read(pmu.EvLLCMiss)
+		p.observed = append(p.observed, miss > p.lastMiss)
+		p.lastMiss = miss
+	} else {
+		p.lastMiss = p.pmu.Read(pmu.EvLLCMiss)
+	}
+	if p.pos >= len(p.seq) {
+		p.done = true
+		return machine.Op{Kind: machine.OpDone}
+	}
+	va := p.addrs[p.seq[p.pos]]
+	p.pos++
+	return machine.Op{Kind: machine.OpLoad, VA: va}
+}
+
+// Observed returns the recorded hit/miss trace (true = miss) and the id
+// sequence it corresponds to.
+func (p *PolicyProbe) Observed() (trace []bool, seq []int) {
+	return p.observed, p.seq[:len(p.observed)]
+}
+
+// PolicyScore is one candidate policy's agreement with the observation.
+type PolicyScore struct {
+	Policy cache.PolicyKind
+	Match  float64 // fraction of accesses classified identically
+}
+
+// InferPolicy replays the observed sequence through each candidate policy
+// simulator and ranks the candidates by agreement with the observed
+// hit/miss trace, best first. The warm-up prefix (first two passes over the
+// set) is excluded: cold misses are policy-independent.
+func InferPolicy(observed []bool, seq []int, ways int, candidates []cache.PolicyKind) []PolicyScore {
+	n := len(observed)
+	if len(seq) < n {
+		n = len(seq)
+	}
+	skip := 2 * (ways + 1)
+	if skip >= n {
+		skip = 0
+	}
+	scores := make([]PolicyScore, 0, len(candidates))
+	for _, kind := range candidates {
+		sim := ReplayOnPolicy(kind, ways, seq[:n])
+		scores = append(scores, PolicyScore{
+			Policy: kind,
+			Match:  matchFrom(observed[:n], sim, skip),
+		})
+	}
+	sort.SliceStable(scores, func(i, j int) bool { return scores[i].Match > scores[j].Match })
+	return scores
+}
+
+func matchFrom(a, b []bool, skip int) float64 {
+	if skip >= len(a) {
+		return 0
+	}
+	match := 0
+	for i := skip; i < len(a); i++ {
+		if a[i] == b[i] {
+			match++
+		}
+	}
+	return float64(match) / float64(len(a)-skip)
+}
+
+// RunInference is the end-to-end §2.2 experiment: run the probe on a
+// machine whose LLC uses an unknown policy, then rank the candidate
+// simulators. It returns the ranked scores.
+func RunInference(m *machine.Machine, opts Options, rounds int, candidates []cache.PolicyKind) ([]PolicyScore, error) {
+	probe, err := NewPolicyProbe(opts, m.Mem.PMU, rounds)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := m.Spawn(0, probe); err != nil {
+		return nil, err
+	}
+	if err := m.Run(sim.Cycles(1) << 62); err != nil && !errors.Is(err, machine.ErrAllDone) {
+		return nil, err
+	}
+	observed, seq := probe.Observed()
+	return InferPolicy(observed, seq, opts.LLC.Ways, candidates), nil
+}
+
+var _ machine.Program = (*PolicyProbe)(nil)

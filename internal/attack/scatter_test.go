@@ -1,0 +1,125 @@
+package attack
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/dram"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// scatterMachine builds a machine with a fragmented physical allocator and
+// pre-fragments memory so the attacker's pages interleave with foreign
+// ones, as on a long-running system.
+func scatterMachine(t *testing.T) *machine.Machine {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	cfg.Cores = 1
+	cfg.AllocPolicy = vm.Scatter
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestClflushFreeOnScatteredMemory runs the full CLFLUSH-free attack with a
+// non-contiguous buffer on a fragmented machine: the eviction sets and
+// aggressor addresses must be discovered purely through pagemap. The victim
+// is a foreign row sandwiched between attacker rows.
+func TestClflushFreeOnScatteredMemory(t *testing.T) {
+	m := scatterMachine(t)
+	prog := &retarget{}
+	proc, err := m.Spawn(0, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave attacker chunks with foreign allocations.
+	foreign := vm.NewAddressSpace(m.Kernel.Alloc)
+	const bufMB = 32
+	const bufVA = attackBufBase
+	const chunk = 256 << 10
+	fva, ava := uint64(0x4_0000_0000), uint64(bufVA)
+	for ava < bufVA+bufMB<<20 {
+		if err := foreign.Map(fva, 3*chunk); err != nil {
+			t.Fatal(err)
+		}
+		fva += 3 * chunk
+		if err := proc.AS.Map(ava, chunk); err != nil {
+			t.Fatal(err)
+		}
+		ava += chunk
+	}
+
+	// Find a sandwiched foreign row: attacker owns rows r and r+2 of a
+	// bank but not r+1.
+	mapper := m.Mem.DRAM.Mapper()
+	owned := map[dram.Coord]bool{}
+	pm := proc.Pagemap()
+	for va := uint64(bufVA); va < bufVA+bufMB<<20; va += vm.PageSize {
+		pa, err := pm.Query(proc.AS, va)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := mapper.Map(pa)
+		owned[dram.Coord{Bank: c.Bank, Row: c.Row}] = true
+	}
+	var target Target
+	found := false
+	for c := range owned {
+		if owned[dram.Coord{Bank: c.Bank, Row: c.Row + 2}] &&
+			!owned[dram.Coord{Bank: c.Bank, Row: c.Row + 1}] {
+			target = Target{Bank: c.Bank, VictimRow: c.Row + 1}
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no sandwiched foreign row; fragmentation model broken")
+	}
+
+	a, err := NewClflushFree(Options{
+		Mapper:   mapper,
+		LLC:      baseOptions(m).LLC,
+		Target:   target,
+		BufferMB: bufMB,
+		// Contiguous is false: everything must go through pagemap.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Init(proc); err != nil {
+		t.Fatalf("CLFLUSH-free init on scattered memory: %v", err)
+	}
+	prog.hammer = a
+	m.Mem.DRAM.PlantWeakRow(target.Bank, target.VictimRow, 400_000)
+
+	end := m.Freq.Cycles(96 * time.Millisecond)
+	for now := sim.Cycles(0); now < end && m.Mem.DRAM.FlipCount() == 0; now += m.Freq.Cycles(2 * time.Millisecond) {
+		if err := m.Run(now); err != nil && !errors.Is(err, machine.ErrAllDone) {
+			t.Fatal(err)
+		}
+	}
+	if m.Mem.DRAM.FlipCount() == 0 {
+		t.Error("CLFLUSH-free attack failed on scattered memory")
+	}
+	if m.Cores[0].Stats.Flushes != 0 {
+		t.Error("attack used CLFLUSH")
+	}
+}
+
+// retarget is a minimal wrapper so the test can install the hammer after
+// arranging memory by hand.
+type retarget struct{ hammer machine.Program }
+
+func (r *retarget) Name() string               { return "scatter-hammer" }
+func (r *retarget) Init(p *machine.Proc) error { return nil }
+func (r *retarget) Next() machine.Op {
+	if r.hammer == nil {
+		return machine.Op{Kind: machine.OpCompute, Cycles: 100}
+	}
+	return r.hammer.Next()
+}

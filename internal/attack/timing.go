@@ -1,0 +1,337 @@
+package attack
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// This file implements eviction-set discovery *by timing alone* — no
+// /proc/pagemap, no huge pages, no physical addresses. It is the vector the
+// paper points at when discussing the kernel's pagemap restriction: the
+// mitigation "still leaves room for potential attacks that rely on
+// side-channel information to make inferences about the physical memory
+// layout", and it is the technique the JavaScript rowhammer attack built
+// from this work (reference [8]) uses.
+//
+// The method is classic group testing: a large candidate pool that
+// certainly evicts a witness line is reduced group by group, keeping the
+// eviction property (checked by measuring the witness's reload latency)
+// until a small congruent core remains.
+
+// TimingConfig parameterises timing-based eviction-set discovery.
+type TimingConfig struct {
+	// HitThreshold divides cache-hit from DRAM reload latencies.
+	HitThreshold sim.Cycles
+	// TargetSize is the reduced set size to stop at; a little above the
+	// associativity keeps eviction reliable under pseudo-LRU policies.
+	TargetSize int
+	// Passes is how many times the candidate set is walked per eviction
+	// test; two passes defeat most replacement-state accidents.
+	Passes int
+}
+
+// DefaultTimingConfig works for the standard machine (12-way Bit-PLRU
+// LLC). The target is well above the associativity because pseudo-LRU
+// replacement makes eviction by a bare-associativity congruent core
+// unreliable — the same property that forced the paper's engineered
+// pattern. A ~2-3x core keeps eviction deterministic enough to measure.
+func DefaultTimingConfig() TimingConfig {
+	return TimingConfig{HitThreshold: 60, TargetSize: 32, Passes: 3}
+}
+
+// FindEvictionSetByTiming reduces pool to a small set of addresses that
+// evicts witness, using only loads and latency measurements through ctx.
+// The pool should hold addresses sharing the witness's page-offset bits
+// (so the unknown physical set-index bits are the only obstacle).
+//
+// The reduction is group testing: the set is split into TargetSize+1
+// groups and every group whose removal preserves the eviction property is
+// dropped, sweep after sweep, concentrating the congruent core. Close to
+// the core, single measurements become unreliable (replacement-state
+// luck), so tests there use a best-of-three vote.
+func FindEvictionSetByTiming(ctx *machine.ScriptCtx, cfg TimingConfig, witness uint64, pool []uint64) ([]uint64, error) {
+	if cfg.TargetSize <= 0 || cfg.Passes <= 0 || cfg.HitThreshold == 0 {
+		return nil, fmt.Errorf("attack: invalid timing config %+v", cfg)
+	}
+	evictsOnce := func(set []uint64) bool {
+		ctx.Load(witness) // bring the witness in
+		ctx.Load(witness) // and make sure it hits
+		for p := 0; p < cfg.Passes; p++ {
+			if p%2 == 0 {
+				for _, a := range set {
+					ctx.Load(a)
+				}
+			} else {
+				// Alternate direction: varies the replacement-state walk.
+				for i := len(set) - 1; i >= 0; i-- {
+					ctx.Load(set[i])
+				}
+			}
+		}
+		return ctx.Load(witness) >= cfg.HitThreshold
+	}
+	// Pseudo-LRU makes single measurements unreliable near the congruent
+	// core; majority voting keeps the selective pressure pointed at the
+	// non-congruent members.
+	evicts := func(set []uint64) bool {
+		votes := 0
+		for i := 0; i < 3; i++ {
+			if evictsOnce(set) {
+				votes++
+			}
+			if votes == 2 || votes-(i+1) == -2 {
+				break
+			}
+		}
+		return votes >= 2
+	}
+
+	set := append([]uint64(nil), pool...)
+	if !evicts(set) {
+		return nil, fmt.Errorf("attack: candidate pool of %d does not evict the witness; pool too small", len(set))
+	}
+	for len(set) > cfg.TargetSize {
+		groups := cfg.TargetSize + 1
+		removedAny := false
+		for g := 0; g < groups && len(set) > cfg.TargetSize; g++ {
+			size := (len(set) + groups - 1) / groups
+			lo := g * size
+			if lo >= len(set) {
+				break
+			}
+			hi := lo + size
+			if hi > len(set) {
+				hi = len(set)
+			}
+			candidate := make([]uint64, 0, len(set)-(hi-lo))
+			candidate = append(candidate, set[:lo]...)
+			candidate = append(candidate, set[hi:]...)
+			if evicts(candidate) {
+				set = candidate
+				removedAny = true
+			}
+		}
+		if !removedAny {
+			// No group is removable: the congruent core dominates the set.
+			break
+		}
+	}
+	if !evicts(set) {
+		return nil, fmt.Errorf("attack: reduction lost the eviction property at %d members", len(set))
+	}
+	return set, nil
+}
+
+// MinimalEvictionSetByTiming runs FindEvictionSetByTiming and then
+// purifies the result element by element: any member whose removal
+// preserves eviction is dropped. What remains is (approximately) the
+// congruent core — the raw material for an engineered access pattern.
+func MinimalEvictionSetByTiming(ctx *machine.ScriptCtx, cfg TimingConfig, witness uint64, pool []uint64, ways int) ([]uint64, error) {
+	set, err := FindEvictionSetByTiming(ctx, cfg, witness, pool)
+	if err != nil {
+		return nil, err
+	}
+	// Removal is conservative — an element is dropped only when eviction
+	// survives in all three trials — so true core members stay.
+	evictsSurely := func(s []uint64) bool {
+		for i := 0; i < 3; i++ {
+			ctx.Load(witness)
+			ctx.Load(witness)
+			for p := 0; p < cfg.Passes; p++ {
+				for _, a := range s {
+					ctx.Load(a)
+				}
+			}
+			if ctx.Load(witness) < cfg.HitThreshold {
+				return false
+			}
+		}
+		return true
+	}
+	// Keep a small safety margin above the associativity: pattern
+	// verification downstream absorbs any non-congruent stragglers.
+	floor := ways + 3
+	for changed := true; changed && len(set) > floor; {
+		changed = false
+		for i := 0; i < len(set) && len(set) > floor; i++ {
+			candidate := make([]uint64, 0, len(set)-1)
+			candidate = append(candidate, set[:i]...)
+			candidate = append(candidate, set[i+1:]...)
+			if evictsSurely(candidate) {
+				set = candidate
+				changed = true
+				i--
+			}
+		}
+	}
+	if len(set) < ways {
+		return nil, fmt.Errorf("attack: purification left only %d members, need %d", len(set), ways)
+	}
+	return set, nil
+}
+
+// SameOffsetPool returns page-stride candidates sharing witness's page
+// offset across [bufVA, bufVA+bufLen), excluding the witness itself.
+func SameOffsetPool(witness, bufVA, bufLen uint64) []uint64 {
+	offset := witness % vm.PageSize
+	var out []uint64
+	for va := bufVA + offset; va+64 <= bufVA+bufLen; va += vm.PageSize {
+		if va != witness {
+			out = append(out, va)
+		}
+	}
+	return out
+}
+
+// timingPattern derives and *verifies* an efficient miss-controlled access
+// pattern for one aggressor from its timing-discovered congruent core: the
+// policy (known from §2.2 inference) drives BuildPattern, and the pattern
+// is then measured — the aggressor's load latency must show a DRAM miss in
+// nearly every iteration. Filler subsets rotate until a verified pattern is
+// found, which absorbs purification leftovers that are not truly congruent.
+func timingPattern(ctx *machine.ScriptCtx, cfg TimingConfig, policy cache.PolicyKind,
+	ways int, agg uint64, core []uint64) (Pattern, error) {
+
+	if len(core) < ways {
+		return Pattern{}, fmt.Errorf("attack: core of %d below associativity %d", len(core), ways)
+	}
+	// Separate the truly congruent members from purification leftovers:
+	// walking aggressor+core cyclically overcommits the aggressor's set, so
+	// congruent members keep missing while stragglers (alone in their own
+	// sets) settle into permanent hits.
+	walk := append([]uint64{agg}, core...)
+	missCount := make(map[uint64]int, len(walk))
+	const classifyRounds = 40
+	for r := 0; r < classifyRounds; r++ {
+		for _, va := range walk {
+			if lat := ctx.Load(va); r >= 4 && lat >= cfg.HitThreshold {
+				missCount[va]++
+			}
+		}
+	}
+	var congruent []uint64
+	for _, va := range core {
+		if missCount[va] >= classifyRounds/8 {
+			congruent = append(congruent, va)
+		}
+	}
+	if len(congruent) < ways {
+		return Pattern{}, fmt.Errorf("attack: only %d of %d core members classified congruent, need %d",
+			len(congruent), len(core), ways)
+	}
+	core = congruent
+
+	// Build the template around an arbitrary assignment, then adapt it to
+	// the machine empirically: pseudo-LRU dynamics have multiple steady
+	// states, and which sequence position ends up missing depends on the
+	// (unknown) replacement state we start from. Measure which position
+	// misses every iteration, swap the aggressor's address into that slot,
+	// and verify.
+	fillers := core[:ways]
+	pat, err := BuildPattern(EvictionSet{Aggressor: agg, Conflicts: fillers}, policy, ways)
+	if err != nil {
+		return Pattern{}, err
+	}
+	const warmup, observe, verifyIters = 8, 8, 30
+	for attempt := 0; attempt < 4; attempt++ {
+		// Observe the per-position steady-state misses.
+		missPos := make([]int, len(pat.Seq))
+		for it := 0; it < warmup+observe; it++ {
+			for pos, id := range pat.Seq {
+				lat := ctx.Load(pat.Addrs[id])
+				if it >= warmup && lat >= cfg.HitThreshold {
+					missPos[pos]++
+				}
+			}
+		}
+		// Find a position missing every observed iteration.
+		slot := -1
+		for pos, n := range missPos {
+			if n == observe {
+				slot = pat.Seq[pos]
+				break
+			}
+		}
+		if slot < 0 {
+			return Pattern{}, fmt.Errorf("attack: template never settles into a steady miss position")
+		}
+		if pat.Addrs[slot] != agg {
+			// Swap the aggressor into the missing slot.
+			for id, va := range pat.Addrs {
+				if va == agg {
+					pat.Addrs[id], pat.Addrs[slot] = pat.Addrs[slot], pat.Addrs[id]
+					break
+				}
+			}
+			pat.AggressorSlot = slot
+		}
+		// Verify: the aggressor must reach DRAM in nearly every iteration.
+		misses := 0
+		for it := 0; it < verifyIters; it++ {
+			for _, va := range pat.Iteration() {
+				lat := ctx.Load(va)
+				if va == agg && lat >= cfg.HitThreshold {
+					misses++
+				}
+			}
+		}
+		if misses >= verifyIters*8/10 {
+			return pat, nil
+		}
+	}
+	return Pattern{}, fmt.Errorf("attack: could not steer the aggressor into a steady miss slot")
+}
+
+// TimingHammer is the end-to-end pagemap-free, CLFLUSH-free double-sided
+// hammer, the rowhammer.js pipeline: timing-derived eviction sets, purified
+// to the congruent core, turned into engineered miss-controlled patterns
+// (the LLC policy is known from the §2.2 inference), verified by
+// measurement, then hammered. It runs as a Script.
+//
+// A real attacker picks aggressor pairs blindly and scans for flips; the
+// addresses are parameters here so harnesses can aim at planted weak rows.
+func TimingHammer(name string, bufVA, bufMB uint64, agg0, agg1 uint64, policy cache.PolicyKind,
+	ways int, cfg TimingConfig, iterations uint64, report func(ev0, ev1 []uint64)) *machine.Script {
+
+	return machine.NewScript(name, func(ctx *machine.ScriptCtx) error {
+		bufLen := bufMB << 20
+		if !ctx.Proc().AS.Mapped(bufVA) {
+			if err := ctx.Map(bufVA, bufLen); err != nil {
+				return err
+			}
+		}
+		ev0, err := MinimalEvictionSetByTiming(ctx, cfg, agg0, SameOffsetPool(agg0, bufVA, bufLen), ways)
+		if err != nil {
+			return fmt.Errorf("aggressor 0: %w", err)
+		}
+		ev1, err := MinimalEvictionSetByTiming(ctx, cfg, agg1, SameOffsetPool(agg1, bufVA, bufLen), ways)
+		if err != nil {
+			return fmt.Errorf("aggressor 1: %w", err)
+		}
+		if report != nil {
+			report(ev0, ev1)
+		}
+		pat0, err := timingPattern(ctx, cfg, policy, ways, agg0, ev0)
+		if err != nil {
+			return fmt.Errorf("aggressor 0: %w", err)
+		}
+		pat1, err := timingPattern(ctx, cfg, policy, ways, agg1, ev1)
+		if err != nil {
+			return fmt.Errorf("aggressor 1: %w", err)
+		}
+		it0, it1 := pat0.Iteration(), pat1.Iteration()
+		for i := uint64(0); iterations == 0 || i < iterations; i++ {
+			for _, va := range it0 {
+				ctx.Load(va)
+			}
+			for _, va := range it1 {
+				ctx.Load(va)
+			}
+		}
+		return nil
+	})
+}

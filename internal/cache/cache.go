@@ -1,0 +1,255 @@
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/sim"
+)
+
+// LineSize is the cache line size in bytes, fixed at 64 as on every modern
+// x86 part (the paper's set-index bits 6..16 assume it).
+const LineSize = 64
+
+const lineShift = 6
+
+// LevelConfig describes one cache level.
+type LevelConfig struct {
+	Name    string
+	SizeKB  int
+	Ways    int
+	Slices  int // >1 enables address-hashed slicing (LLC)
+	Policy  PolicyKind
+	Latency sim.Cycles // hit latency, in cycles
+	// Throughput is the cost of a hit that immediately follows another hit
+	// in the same level: out-of-order cores overlap independent cache hits,
+	// so back-to-back hits cost pipeline throughput, not full latency.
+	// Zero means no overlap (Throughput = Latency).
+	Throughput sim.Cycles
+}
+
+// Validate checks the level configuration.
+func (c LevelConfig) Validate() error {
+	if c.SizeKB <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache: %s: size and ways must be positive", c.Name)
+	}
+	if c.Slices <= 0 {
+		return fmt.Errorf("cache: %s: slices must be >= 1", c.Name)
+	}
+	lines := c.SizeKB * 1024 / LineSize
+	sets := lines / c.Ways / c.Slices
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: %s: %dKB/%d-way/%d-slice gives %d sets per slice; must be a positive power of two",
+			c.Name, c.SizeKB, c.Ways, c.Slices, sets)
+	}
+	return nil
+}
+
+// line is one cache line's metadata.
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+}
+
+// Level is a single set-associative, optionally sliced cache level.
+type Level struct {
+	cfg      LevelConfig
+	sets     int // sets per slice
+	setMask  uint64
+	lines    [][]line // [slice*sets+set][way]
+	policies []Policy
+	stats    LevelStats
+}
+
+// LevelStats counts per-level activity.
+type LevelStats struct {
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64
+	Flushes    uint64
+}
+
+// NewLevel builds one cache level. rng seeds the random policy (and is
+// shared across sets, which is fine for simulation purposes).
+func NewLevel(cfg LevelConfig, rng *sim.Rand) (*Level, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	lines := cfg.SizeKB * 1024 / LineSize
+	sets := lines / cfg.Ways / cfg.Slices
+	l := &Level{
+		cfg:     cfg,
+		sets:    sets,
+		setMask: uint64(sets - 1),
+	}
+	total := sets * cfg.Slices
+	l.lines = make([][]line, total)
+	l.policies = make([]Policy, total)
+	for i := range l.lines {
+		l.lines[i] = make([]line, cfg.Ways)
+		p, err := NewPolicy(cfg.Policy, cfg.Ways, rng)
+		if err != nil {
+			return nil, err
+		}
+		l.policies[i] = p
+	}
+	return l, nil
+}
+
+// Config returns the level's configuration.
+func (l *Level) Config() LevelConfig { return l.cfg }
+
+// Stats returns a snapshot of the level's counters.
+func (l *Level) Stats() LevelStats { return l.stats }
+
+// Sets reports the number of sets per slice.
+func (l *Level) Sets() int { return l.sets }
+
+// SliceOf returns the slice an address maps to. The hash XOR-folds all
+// address bits above the line offset, approximating the undocumented Intel
+// slice hash: addresses equal in bits 6..16 can still land in different
+// slices unless their tag-bit parities match, exactly the obstacle the
+// eviction-set search in the attack has to solve.
+func (l *Level) SliceOf(pa uint64) int {
+	if l.cfg.Slices == 1 {
+		return 0
+	}
+	x := pa >> lineShift
+	h := 0
+	for x != 0 {
+		h ^= int(x) & (l.cfg.Slices - 1)
+		x >>= uint(bits.TrailingZeros(uint(l.cfg.Slices)))
+	}
+	return h
+}
+
+// SetOf returns the set index (within the slice) an address maps to.
+func (l *Level) SetOf(pa uint64) int {
+	return int((pa >> lineShift) & l.setMask)
+}
+
+// Congruent reports whether two addresses compete for the same slice+set.
+func (l *Level) Congruent(a, b uint64) bool {
+	return l.SetOf(a) == l.SetOf(b) && l.SliceOf(a) == l.SliceOf(b)
+}
+
+func (l *Level) index(pa uint64) int {
+	return l.SliceOf(pa)*l.sets + l.SetOf(pa)
+}
+
+func tagOf(pa uint64) uint64 { return pa >> lineShift }
+
+// Lookup probes the level without modifying replacement state.
+func (l *Level) Lookup(pa uint64) bool {
+	set := l.lines[l.index(pa)]
+	t := tagOf(pa)
+	for i := range set {
+		if set[i].valid && set[i].tag == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Access probes the level, updating replacement state on a hit. It returns
+// whether the access hit and, if so, records a write by dirtying the line.
+func (l *Level) Access(pa uint64, write bool) bool {
+	idx := l.index(pa)
+	set := l.lines[idx]
+	t := tagOf(pa)
+	for i := range set {
+		if set[i].valid && set[i].tag == t {
+			l.stats.Hits++
+			l.policies[idx].Touch(i)
+			if write {
+				set[i].dirty = true
+			}
+			return true
+		}
+	}
+	l.stats.Misses++
+	return false
+}
+
+// Evicted describes a line displaced by Fill.
+type Evicted struct {
+	PA    uint64
+	Dirty bool
+}
+
+// Fill inserts the line for pa, evicting if necessary. It returns the
+// displaced line, if any. The new line is marked dirty when write is set.
+func (l *Level) Fill(pa uint64, write bool) (Evicted, bool) {
+	idx := l.index(pa)
+	set := l.lines[idx]
+	t := tagOf(pa)
+	// Prefer an invalid way.
+	way := -1
+	for i := range set {
+		if !set[i].valid {
+			way = i
+			break
+		}
+	}
+	var ev Evicted
+	evicted := false
+	if way < 0 {
+		way = l.policies[idx].Victim()
+		old := &set[way]
+		ev = Evicted{PA: old.tag << lineShift, Dirty: old.dirty}
+		evicted = true
+		l.stats.Evictions++
+		if old.dirty {
+			l.stats.Writebacks++
+		}
+	}
+	set[way] = line{tag: t, valid: true, dirty: write}
+	l.policies[idx].Touch(way)
+	return ev, evicted
+}
+
+// Invalidate removes the line for pa if present, returning whether it was
+// present and whether it was dirty.
+func (l *Level) Invalidate(pa uint64) (present, dirty bool) {
+	idx := l.index(pa)
+	set := l.lines[idx]
+	t := tagOf(pa)
+	for i := range set {
+		if set[i].valid && set[i].tag == t {
+			dirty = set[i].dirty
+			set[i] = line{}
+			l.policies[idx].Invalidate(i)
+			l.stats.Flushes++
+			return true, dirty
+		}
+	}
+	return false, false
+}
+
+// MarkDirty flags the line for pa as dirty if present (used for writebacks
+// arriving from an inner level of an inclusive hierarchy).
+func (l *Level) MarkDirty(pa uint64) {
+	idx := l.index(pa)
+	set := l.lines[idx]
+	t := tagOf(pa)
+	for i := range set {
+		if set[i].valid && set[i].tag == t {
+			set[i].dirty = true
+			return
+		}
+	}
+}
+
+// ResidentWays returns how many valid lines the set containing pa holds.
+func (l *Level) ResidentWays(pa uint64) int {
+	set := l.lines[l.index(pa)]
+	n := 0
+	for i := range set {
+		if set[i].valid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,32 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// FuzzPolicyInvariants: every policy keeps victims in range and never
+// panics, for arbitrary touch/victim/invalidate interleavings.
+func FuzzPolicyInvariants(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 250, 99})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		for _, k := range AllPolicies() {
+			const ways = 12
+			p := MustPolicy(k, ways, sim.NewRand(1))
+			for _, op := range ops {
+				switch op % 3 {
+				case 0:
+					p.Touch(int(op/3) % ways)
+				case 1:
+					if v := p.Victim(); v < 0 || v >= ways {
+						t.Fatalf("%s: victim %d out of range", k, v)
+					}
+				default:
+					p.Invalidate(int(op/3) % ways)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,274 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// DataSource tells where an access was satisfied — the same information the
+// PEBS load-latency facility's "data source" field carries, which ANVIL uses
+// to confirm that sampled loads actually reached DRAM.
+type DataSource int
+
+// Data sources, nearest first.
+const (
+	SrcL1 DataSource = iota + 1
+	SrcL2
+	SrcL3
+	SrcDRAM
+)
+
+func (s DataSource) String() string {
+	switch s {
+	case SrcL1:
+		return "L1"
+	case SrcL2:
+		return "L2"
+	case SrcL3:
+		return "L3"
+	case SrcDRAM:
+		return "DRAM"
+	default:
+		return fmt.Sprintf("DataSource(%d)", int(s))
+	}
+}
+
+// Memory is the backing store beneath the hierarchy (the DRAM module, via
+// the memsys adapter). Access returns the access latency; writebacks are
+// posted with their own calls.
+type Memory interface {
+	Access(pa uint64, write bool, now sim.Cycles) sim.Cycles
+}
+
+// Result describes one access through the hierarchy.
+type Result struct {
+	Latency sim.Cycles
+	Source  DataSource
+	LLCMiss bool
+	// Writebacks counts dirty lines pushed to memory as a side effect.
+	Writebacks int
+}
+
+// HierarchyConfig describes the full cache hierarchy.
+type HierarchyConfig struct {
+	Levels       []LevelConfig // ordered nearest (L1) to farthest (LLC)
+	FlushLatency sim.Cycles    // CLFLUSH cost as seen by the executing core
+	// NextLinePrefetch fills pa+64 into the LLC alongside every demand
+	// miss, modelling the simplest hardware stream prefetcher. Off by
+	// default (the paper's overhead calibration assumes no prefetching).
+	NextLinePrefetch bool
+	Seed             uint64
+}
+
+// SandyBridgeConfig models the i5-2540M used throughout the paper:
+// 32 KB 8-way L1D, 256 KB 8-way L2, and a 3 MB 12-way inclusive LLC split
+// into two address-hashed slices (one per core), with Bit-PLRU replacement —
+// the policy the authors identified on their machine.
+func SandyBridgeConfig() HierarchyConfig {
+	return HierarchyConfig{
+		Levels: []LevelConfig{
+			{Name: "L1D", SizeKB: 32, Ways: 8, Slices: 1, Policy: TrueLRU, Latency: 4, Throughput: 2},
+			{Name: "L2", SizeKB: 256, Ways: 8, Slices: 1, Policy: TrueLRU, Latency: 12, Throughput: 6},
+			{Name: "LLC", SizeKB: 3072, Ways: 12, Slices: 2, Policy: BitPLRU, Latency: 29, Throughput: 10},
+		},
+		// CLFLUSH retires quickly; the flush itself proceeds mostly in the
+		// background, overlapped with the next access.
+		FlushLatency: 8,
+		Seed:         0xcace,
+	}
+}
+
+// Hierarchy is an inclusive multi-level cache in front of a Memory.
+type Hierarchy struct {
+	cfg     HierarchyConfig
+	levels  []*Level
+	mem     Memory
+	stats   HierarchyStats
+	lastHit int // level index of the previous access's hit, -1 otherwise
+}
+
+// HierarchyStats aggregates whole-hierarchy activity.
+type HierarchyStats struct {
+	Loads      uint64
+	Stores     uint64
+	LLCMisses  uint64
+	MemReads   uint64
+	MemWrites  uint64
+	Flushes    uint64
+	Prefetches uint64
+}
+
+// NewHierarchy builds the hierarchy over the given memory.
+func NewHierarchy(cfg HierarchyConfig, mem Memory) (*Hierarchy, error) {
+	if len(cfg.Levels) == 0 {
+		return nil, fmt.Errorf("cache: hierarchy needs at least one level")
+	}
+	if mem == nil {
+		return nil, fmt.Errorf("cache: hierarchy needs a memory backend")
+	}
+	rng := sim.NewRand(cfg.Seed)
+	h := &Hierarchy{cfg: cfg, mem: mem, lastHit: -1}
+	for _, lc := range cfg.Levels {
+		l, err := NewLevel(lc, rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		h.levels = append(h.levels, l)
+	}
+	return h, nil
+}
+
+// MustSandyBridge builds the default hierarchy or panics; convenience for
+// tests and examples.
+func MustSandyBridge(mem Memory) *Hierarchy {
+	h, err := NewHierarchy(SandyBridgeConfig(), mem)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Level returns the i-th level (0 = L1).
+func (h *Hierarchy) Level(i int) *Level { return h.levels[i] }
+
+// LLC returns the last-level cache.
+func (h *Hierarchy) LLC() *Level { return h.levels[len(h.levels)-1] }
+
+// Stats returns a snapshot of the hierarchy counters.
+func (h *Hierarchy) Stats() HierarchyStats { return h.stats }
+
+// lineAlign truncates an address to its line base.
+func lineAlign(pa uint64) uint64 { return pa &^ (LineSize - 1) }
+
+// Access performs a load or store of pa at simulated time now.
+func (h *Hierarchy) Access(pa uint64, write bool, now sim.Cycles) Result {
+	pa = lineAlign(pa)
+	if write {
+		h.stats.Stores++
+	} else {
+		h.stats.Loads++
+	}
+	for i, l := range h.levels {
+		if l.Access(pa, write && i == 0) {
+			lat := l.cfg.Latency
+			if h.lastHit == i && l.cfg.Throughput > 0 {
+				lat = l.cfg.Throughput // back-to-back hits pipeline
+			}
+			h.lastHit = i
+			res := Result{Latency: lat, Source: DataSource(i + 1)}
+			// Fill the levels above the hit (inclusive hierarchy).
+			res.Writebacks += h.fillAbove(i, pa, write, now)
+			return res
+		}
+	}
+	// Miss everywhere: fetch from memory. Stores allocate via
+	// read-for-ownership, so the memory access is a read either way.
+	h.lastHit = -1
+	h.stats.LLCMisses++
+	llcLat := h.LLC().cfg.Latency
+	memLat := h.mem.Access(pa, false, now+llcLat)
+	h.stats.MemReads++
+	res := Result{Latency: llcLat + memLat, Source: SrcDRAM, LLCMiss: true}
+	res.Writebacks += h.fillAbove(len(h.levels), pa, write, now)
+	if h.cfg.NextLinePrefetch {
+		res.Writebacks += h.prefetch(pa+LineSize, now)
+	}
+	return res
+}
+
+// prefetch pulls a line into the LLC in the background (no latency charged
+// to the triggering access). Evictions are handled as for demand fills.
+func (h *Hierarchy) prefetch(pa uint64, now sim.Cycles) int {
+	pa = lineAlign(pa)
+	llc := h.LLC()
+	if llc.Lookup(pa) {
+		return 0
+	}
+	h.stats.Prefetches++
+	h.mem.Access(pa, false, now)
+	h.stats.MemReads++
+	ev, evicted := llc.Fill(pa, false)
+	if !evicted {
+		return 0
+	}
+	dirty := ev.Dirty
+	for j := 0; j < len(h.levels)-1; j++ {
+		if present, d := h.levels[j].Invalidate(ev.PA); present && d {
+			dirty = true
+		}
+	}
+	if dirty {
+		h.mem.Access(ev.PA, true, now)
+		h.stats.MemWrites++
+		return 1
+	}
+	return 0
+}
+
+// fillAbove inserts pa into every level above `from` (exclusive), handling
+// evictions: inclusive back-invalidation for LLC victims and dirty
+// writebacks to the level below or to memory. It returns the number of
+// memory writebacks performed.
+func (h *Hierarchy) fillAbove(from int, pa uint64, write bool, now sim.Cycles) int {
+	wb := 0
+	for i := from - 1; i >= 0; i-- {
+		ev, evicted := h.levels[i].Fill(pa, write && i == 0)
+		if !evicted {
+			continue
+		}
+		dirty := ev.Dirty
+		if i == len(h.levels)-1 {
+			// LLC victim: back-invalidate the inner levels (inclusion).
+			for j := 0; j < i; j++ {
+				if present, d := h.levels[j].Invalidate(ev.PA); present && d {
+					dirty = true
+				}
+			}
+			if dirty {
+				h.mem.Access(ev.PA, true, now)
+				h.stats.MemWrites++
+				wb++
+			}
+			continue
+		}
+		// Inner-level victim: push dirty data one level down (it is present
+		// there by inclusion).
+		if dirty {
+			h.levels[i+1].MarkDirty(ev.PA)
+		}
+	}
+	return wb
+}
+
+// Flush implements CLFLUSH: the line is invalidated in every level and a
+// dirty copy is written back to memory. It returns the latency charged to
+// the executing core and the number of memory writebacks.
+func (h *Hierarchy) Flush(pa uint64, now sim.Cycles) (sim.Cycles, int) {
+	pa = lineAlign(pa)
+	h.stats.Flushes++
+	dirty := false
+	for _, l := range h.levels {
+		if present, d := l.Invalidate(pa); present && d {
+			dirty = true
+		}
+	}
+	wb := 0
+	if dirty {
+		h.mem.Access(pa, true, now)
+		h.stats.MemWrites++
+		wb = 1
+	}
+	return h.cfg.FlushLatency, wb
+}
+
+// Contains reports whether pa is resident in any level.
+func (h *Hierarchy) Contains(pa uint64) bool {
+	pa = lineAlign(pa)
+	for _, l := range h.levels {
+		if l.Lookup(pa) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,301 @@
+// Package cache models the on-chip cache hierarchy: set-associative levels
+// with pluggable replacement policies, an inclusive, sliced, physically
+// indexed last-level cache, and the CLFLUSH operation.
+//
+// The CLFLUSH-free rowhammer attack of the paper (§2.2) works by steering a
+// real processor's replacement state — the authors identified Sandy Bridge's
+// policy as Bit-PLRU by correlating performance-counter hit/miss traces with
+// policy simulators. This package therefore implements the full policy zoo
+// used in that experiment (true LRU, Bit-PLRU, Tree-PLRU, NRU, SRRIP,
+// random) behind a single Policy interface.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Policy manages the replacement state of a single cache set.
+//
+// Way indices are dense in [0, ways). The cache calls Touch on every hit and
+// on every fill (after Victim chose the way), and Invalidate when a line is
+// removed without replacement (CLFLUSH, back-invalidation).
+type Policy interface {
+	// Touch records a reference to the given way.
+	Touch(way int)
+	// Victim returns the way to evict next. It must be deterministic given
+	// the state (except for the random policy).
+	Victim() int
+	// Invalidate clears any state that would protect the way, making it the
+	// preferred victim.
+	Invalidate(way int)
+	// Name identifies the policy (for reports and the inference harness).
+	Name() string
+}
+
+// PolicyKind selects a replacement policy implementation.
+type PolicyKind string
+
+// The implemented replacement policies.
+const (
+	TrueLRU  PolicyKind = "lru"
+	BitPLRU  PolicyKind = "bit-plru" // Sandy Bridge's observed policy (paper §2.2)
+	TreePLRU PolicyKind = "tree-plru"
+	NRU      PolicyKind = "nru"
+	SRRIP    PolicyKind = "srrip"
+	Random   PolicyKind = "random"
+)
+
+// AllPolicies lists every implemented policy kind, in a stable order.
+func AllPolicies() []PolicyKind {
+	return []PolicyKind{TrueLRU, BitPLRU, TreePLRU, NRU, SRRIP, Random}
+}
+
+// NewPolicy constructs a policy instance for a set of the given
+// associativity. rng is only used by the random policy; passing nil is fine
+// for the deterministic ones.
+func NewPolicy(kind PolicyKind, ways int, rng *sim.Rand) (Policy, error) {
+	if ways <= 0 {
+		return nil, fmt.Errorf("cache: associativity must be positive, got %d", ways)
+	}
+	switch kind {
+	case TrueLRU:
+		p := &lruPolicy{order: make([]int, ways)}
+		for i := range p.order {
+			p.order[i] = i
+		}
+		return p, nil
+	case BitPLRU:
+		return &bitPLRUPolicy{bits: make([]bool, ways)}, nil
+	case TreePLRU:
+		return newTreePLRU(ways), nil
+	case NRU:
+		return &nruPolicy{bits: make([]bool, ways)}, nil
+	case SRRIP:
+		p := &srripPolicy{rrpv: make([]uint8, ways), max: 3}
+		for i := range p.rrpv {
+			p.rrpv[i] = p.max // empty ways are immediate victims
+		}
+		return p, nil
+	case Random:
+		if rng == nil {
+			rng = sim.NewRand(0)
+		}
+		return &randomPolicy{ways: ways, rng: rng}, nil
+	default:
+		return nil, fmt.Errorf("cache: unknown policy %q", kind)
+	}
+}
+
+// MustPolicy is NewPolicy that panics on error.
+func MustPolicy(kind PolicyKind, ways int, rng *sim.Rand) Policy {
+	p, err := NewPolicy(kind, ways, rng)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// lruPolicy keeps an exact recency ordering (order[0] is LRU).
+type lruPolicy struct {
+	order []int
+}
+
+func (p *lruPolicy) Name() string { return string(TrueLRU) }
+
+func (p *lruPolicy) Touch(way int) {
+	for i, w := range p.order {
+		if w == way {
+			copy(p.order[i:], p.order[i+1:])
+			p.order[len(p.order)-1] = way
+			return
+		}
+	}
+}
+
+func (p *lruPolicy) Victim() int { return p.order[0] }
+
+func (p *lruPolicy) Invalidate(way int) {
+	for i, w := range p.order {
+		if w == way {
+			copy(p.order[1:i+1], p.order[:i])
+			p.order[0] = way
+			return
+		}
+	}
+}
+
+// bitPLRUPolicy is Bit-PLRU exactly as the paper describes it (§2.2):
+// "each cache line in a set has a single MRU bit. Every time a cache line is
+// accessed, its MRU bit is set. The least-recently used cache line is the
+// line with the lowest index whose MRU bit is cleared. When the last MRU bit
+// is set, the other MRU bits in the set are cleared."
+type bitPLRUPolicy struct {
+	bits []bool
+}
+
+func (p *bitPLRUPolicy) Name() string { return string(BitPLRU) }
+
+func (p *bitPLRUPolicy) Touch(way int) {
+	p.bits[way] = true
+	for _, b := range p.bits {
+		if !b {
+			return
+		}
+	}
+	// Last MRU bit was just set: clear all the others.
+	for i := range p.bits {
+		p.bits[i] = i == way
+	}
+}
+
+func (p *bitPLRUPolicy) Victim() int {
+	for i, b := range p.bits {
+		if !b {
+			return i
+		}
+	}
+	return 0 // unreachable: Touch never leaves all bits set
+}
+
+func (p *bitPLRUPolicy) Invalidate(way int) { p.bits[way] = false }
+
+// nruPolicy is Not-Recently-Used: like Bit-PLRU but the reference bits are
+// cleared lazily at eviction time when no victim is available, rather than
+// eagerly on the saturating touch.
+type nruPolicy struct {
+	bits []bool
+}
+
+func (p *nruPolicy) Name() string { return string(NRU) }
+
+func (p *nruPolicy) Touch(way int) { p.bits[way] = true }
+
+func (p *nruPolicy) Victim() int {
+	for i, b := range p.bits {
+		if !b {
+			return i
+		}
+	}
+	// All referenced: age everyone and evict way 0.
+	for i := range p.bits {
+		p.bits[i] = false
+	}
+	return 0
+}
+
+func (p *nruPolicy) Invalidate(way int) { p.bits[way] = false }
+
+// treePLRUPolicy is the classic binary-tree pseudo-LRU. Associativity is
+// rounded up to a power of two internally; phantom ways are never returned
+// as victims because they are permanently marked most-recently-used.
+type treePLRUPolicy struct {
+	ways  int
+	nodes []bool // nodes[i]: false = left subtree older, true = right older
+	size  int    // power-of-two leaf count
+}
+
+func newTreePLRU(ways int) *treePLRUPolicy {
+	size := 1
+	for size < ways {
+		size *= 2
+	}
+	return &treePLRUPolicy{ways: ways, size: size, nodes: make([]bool, size)}
+}
+
+func (p *treePLRUPolicy) Name() string { return string(TreePLRU) }
+
+// touchLeaf walks root->leaf flipping node bits to point away from way.
+func (p *treePLRUPolicy) touchLeaf(way int) {
+	node := 1
+	for bit := p.size >> 1; bit >= 1; bit >>= 1 {
+		right := way&bit != 0
+		// Make the node point at the *other* subtree (the older one).
+		p.nodes[node] = !right
+		node = node*2 + b2i(right)
+	}
+}
+
+func (p *treePLRUPolicy) Touch(way int) { p.touchLeaf(way) }
+
+func (p *treePLRUPolicy) Victim() int {
+	node := 1
+	way := 0
+	for bit := p.size >> 1; bit >= 1; bit >>= 1 {
+		right := p.nodes[node]
+		// Never descend into a subtree made entirely of phantom ways
+		// (associativity rounded up to a power of two).
+		if right && way|bit >= p.ways {
+			right = false
+		}
+		if right {
+			way |= bit
+		}
+		node = node*2 + b2i(right)
+	}
+	return way
+}
+
+func (p *treePLRUPolicy) Invalidate(way int) {
+	// Point the whole path at this way so it is evicted next.
+	node := 1
+	for bit := p.size >> 1; bit >= 1; bit >>= 1 {
+		right := way&bit != 0
+		p.nodes[node] = right
+		node = node*2 + b2i(right)
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// srripPolicy is 2-bit Static RRIP (Jaleel et al., ISCA'10 — reference [20]
+// of the paper): lines are inserted with a long re-reference prediction,
+// promoted to 0 on hit, and the victim is the first line predicted
+// re-referenced in the distant future.
+type srripPolicy struct {
+	rrpv []uint8
+	max  uint8
+}
+
+func (p *srripPolicy) Name() string { return string(SRRIP) }
+
+func (p *srripPolicy) Touch(way int) {
+	if p.rrpv[way] == p.max {
+		// Fill: insert with "long" prediction (max-1).
+		p.rrpv[way] = p.max - 1
+		return
+	}
+	p.rrpv[way] = 0
+}
+
+func (p *srripPolicy) Victim() int {
+	for {
+		for i, v := range p.rrpv {
+			if v == p.max {
+				return i
+			}
+		}
+		for i := range p.rrpv {
+			p.rrpv[i]++
+		}
+	}
+}
+
+func (p *srripPolicy) Invalidate(way int) { p.rrpv[way] = p.max }
+
+// randomPolicy evicts a uniformly random way.
+type randomPolicy struct {
+	ways int
+	rng  *sim.Rand
+}
+
+func (p *randomPolicy) Name() string       { return string(Random) }
+func (p *randomPolicy) Touch(way int)      {}
+func (p *randomPolicy) Victim() int        { return p.rng.Intn(p.ways) }
+func (p *randomPolicy) Invalidate(way int) {}

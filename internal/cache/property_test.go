@@ -1,0 +1,111 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// TestInclusionInvariant drives the hierarchy with arbitrary access/flush
+// sequences and checks the inclusive-LLC invariant after every operation:
+// any line resident in an inner level must be resident in the LLC.
+func TestInclusionInvariant(t *testing.T) {
+	err := quick.Check(func(ops []uint16) bool {
+		mem := &memStub{latency: 150}
+		h, err := NewHierarchy(SandyBridgeConfig(), mem)
+		if err != nil {
+			return false
+		}
+		var lines []uint64
+		now := sim.Cycles(0)
+		for _, op := range ops {
+			// Small address universe so sets collide and evictions happen.
+			pa := uint64(op%512) * LineSize * 37
+			switch {
+			case op%11 == 0:
+				h.Flush(pa, now)
+			case op%7 == 0:
+				h.Access(pa, true, now)
+			default:
+				h.Access(pa, false, now)
+			}
+			lines = append(lines, pa)
+			now += 100
+			if len(lines) > 64 {
+				lines = lines[1:]
+			}
+			// Invariant: inner residency implies LLC residency.
+			for _, l := range lines {
+				for i := 0; i < 2; i++ {
+					if h.Level(i).Lookup(l) && !h.LLC().Lookup(l) {
+						t.Logf("line %#x in L%d but not LLC", l, i+1)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNoDirtyDataLost checks write-back accounting: every store eventually
+// reaches memory exactly once, via eviction writeback or flush.
+func TestNoDirtyDataLost(t *testing.T) {
+	mem := &memStub{latency: 150}
+	h, err := NewHierarchy(SandyBridgeConfig(), mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRand(123)
+	stores := map[uint64]bool{}
+	now := sim.Cycles(0)
+	for i := 0; i < 20000; i++ {
+		pa := rng.Uint64n(1<<22) &^ (LineSize - 1)
+		if rng.Bool(0.3) {
+			h.Access(pa, true, now)
+			stores[pa] = true
+		} else {
+			h.Access(pa, false, now)
+		}
+		now += 50
+	}
+	// Flush everything still resident.
+	for pa := range stores {
+		h.Flush(pa, now)
+	}
+	// Every dirtied line must have produced at least one memory write, and
+	// clean traffic alone must not write.
+	if mem.writes == 0 {
+		t.Fatal("no writebacks at all")
+	}
+	if mem.writes > len(stores)*4 {
+		t.Errorf("suspiciously many writebacks: %d for %d dirty lines", mem.writes, len(stores))
+	}
+}
+
+// TestHierarchyDeterminism: identical access sequences produce identical
+// hit/miss traces (the simulator's reproducibility guarantee).
+func TestHierarchyDeterminism(t *testing.T) {
+	trace := func() []DataSource {
+		mem := &memStub{latency: 150}
+		h, _ := NewHierarchy(SandyBridgeConfig(), mem)
+		rng := sim.NewRand(7)
+		var out []DataSource
+		for i := 0; i < 5000; i++ {
+			pa := rng.Uint64n(1 << 21)
+			res := h.Access(pa, rng.Bool(0.2), sim.Cycles(i*10))
+			out = append(out, res.Source)
+		}
+		return out
+	}
+	a, b := trace(), trace()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package defense
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/cache"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// hammeredMachine builds a machine with a planted 400K-unit victim under a
+// double-sided CLFLUSH attack and the given defense attached.
+func hammeredMachine(t *testing.T, d Defense) (*machine.Machine, attack.Target) {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	cfg.Cores = 1
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != nil {
+		d.Attach(m.Mem.DRAM)
+	}
+	a, err := attack.NewDoubleSidedFlush(attack.Options{
+		Mapper:     m.Mem.DRAM.Mapper(),
+		LLC:        cache.SandyBridgeConfig().Levels[2],
+		AutoTarget: true,
+		BufferMB:   16,
+		Contiguous: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Spawn(0, a); err != nil {
+		t.Fatal(err)
+	}
+	v := a.Victim()
+	m.Mem.DRAM.PlantWeakRow(v.Bank, v.VictimRow, 400_000)
+	return m, v
+}
+
+func runFor(t *testing.T, m *machine.Machine, d time.Duration) {
+	t.Helper()
+	if err := m.Run(m.Freq.Cycles(d)); err != nil && !errors.Is(err, machine.ErrAllDone) {
+		t.Fatal(err)
+	}
+}
+
+func TestUnprotectedMachineFlips(t *testing.T) {
+	m, _ := hammeredMachine(t, nil)
+	runFor(t, m, 64*time.Millisecond)
+	if m.Mem.DRAM.FlipCount() == 0 {
+		t.Fatal("control run did not flip; defense tests would be vacuous")
+	}
+}
+
+func TestPARAPreventsFlips(t *testing.T) {
+	d, err := NewPARA(0.001, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := hammeredMachine(t, d)
+	runFor(t, m, 128*time.Millisecond)
+	if n := m.Mem.DRAM.FlipCount(); n != 0 {
+		t.Errorf("PARA allowed %d flips", n)
+	}
+	if d.Refreshes() == 0 {
+		t.Error("PARA never refreshed under an active attack")
+	}
+}
+
+func TestPARAValidation(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		if _, err := NewPARA(p, 1); err == nil {
+			t.Errorf("PARA accepted p=%g", p)
+		}
+	}
+}
+
+func TestTRRPreventsFlips(t *testing.T) {
+	// MAC 50K activations per 16ms window: well under the 220K needed.
+	d, err := NewTRR(50_000, sim.DefaultFreq.Cycles(16*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := hammeredMachine(t, d)
+	runFor(t, m, 128*time.Millisecond)
+	if n := m.Mem.DRAM.FlipCount(); n != 0 {
+		t.Errorf("TRR allowed %d flips", n)
+	}
+	if d.Refreshes() == 0 {
+		t.Error("TRR never refreshed under an active attack")
+	}
+}
+
+func TestTRRValidation(t *testing.T) {
+	if _, err := NewTRR(0, 100); err == nil {
+		t.Error("zero MAC accepted")
+	}
+	if _, err := NewTRR(10, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+func TestCRAPreventsFlipsWithMinimalRefreshes(t *testing.T) {
+	d, err := NewCRA(100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := hammeredMachine(t, d)
+	runFor(t, m, 128*time.Millisecond)
+	if n := m.Mem.DRAM.FlipCount(); n != 0 {
+		t.Errorf("CRA allowed %d flips", n)
+	}
+	// Ideal counters refresh very rarely: roughly once per 100K
+	// activations per aggressor.
+	acts := m.Mem.DRAM.Stats().Activations
+	if d.Refreshes() == 0 {
+		t.Error("CRA never refreshed")
+	}
+	if float64(d.Refreshes()) > float64(acts)/20_000 {
+		t.Errorf("CRA refreshed %d times for %d activations; should be rare", d.Refreshes(), acts)
+	}
+}
+
+func TestCRAValidation(t *testing.T) {
+	if _, err := NewCRA(0); err == nil {
+		t.Error("zero threshold accepted")
+	}
+}
+
+func TestARMORAbsorbsHammering(t *testing.T) {
+	d, err := NewARMOR(10_000, 8, sim.DefaultFreq.Cycles(32*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := hammeredMachine(t, d)
+	runFor(t, m, 128*time.Millisecond)
+	if n := m.Mem.DRAM.FlipCount(); n != 0 {
+		t.Errorf("ARMOR allowed %d flips", n)
+	}
+	if d.Absorbed() == 0 {
+		t.Error("ARMOR buffer absorbed nothing under an active attack")
+	}
+}
+
+func TestARMORValidation(t *testing.T) {
+	if _, err := NewARMOR(0, 8, 100); err == nil {
+		t.Error("zero promote accepted")
+	}
+	if _, err := NewARMOR(10, 0, 100); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewARMOR(10, 8, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+func TestDoubleRefreshScalingStillFlips(t *testing.T) {
+	// §2.1: the deployed mitigation — a 32ms refresh window — does NOT stop
+	// the double-sided CLFLUSH attack (first flip ~14ms < 32ms).
+	cfg := machine.DefaultConfig()
+	cfg.Cores = 1
+	cfg.Memory.DRAM.Timing = cfg.Memory.DRAM.Timing.WithRefreshScale(2)
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := attack.NewDoubleSidedFlush(attack.Options{
+		Mapper:     m.Mem.DRAM.Mapper(),
+		LLC:        cache.SandyBridgeConfig().Levels[2],
+		AutoTarget: true,
+		BufferMB:   16,
+		Contiguous: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Spawn(0, a); err != nil {
+		t.Fatal(err)
+	}
+	v := a.Victim()
+	m.Mem.DRAM.PlantWeakRow(v.Bank, v.VictimRow, 400_000)
+	runFor(t, m, 64*time.Millisecond)
+	if m.Mem.DRAM.FlipCount() == 0 {
+		t.Error("double refresh rate stopped the attack; §2.1 says it must not")
+	}
+	var dr DoubleRefresh
+	if dr.Name() == "" || dr.Refreshes() != 0 {
+		t.Error("DoubleRefresh descriptor wrong")
+	}
+	dr.Attach(m.Mem.DRAM) // no-op
+}
+
+func TestQuadRefreshScalingStopsThisAttack(t *testing.T) {
+	// At a 16ms window the sweep outruns our attack's ~14ms... narrowly.
+	// §2.1 notes flips were still possible at 16ms on their module; on our
+	// module the margin is what matters: flips require beating the sweep.
+	cfg := machine.DefaultConfig()
+	cfg.Cores = 1
+	cfg.Memory.DRAM.Timing = cfg.Memory.DRAM.Timing.WithRefreshScale(8) // 8ms window
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := attack.NewDoubleSidedFlush(attack.Options{
+		Mapper:     m.Mem.DRAM.Mapper(),
+		LLC:        cache.SandyBridgeConfig().Levels[2],
+		AutoTarget: true,
+		BufferMB:   16,
+		Contiguous: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Spawn(0, a); err != nil {
+		t.Fatal(err)
+	}
+	v := a.Victim()
+	m.Mem.DRAM.PlantWeakRow(v.Bank, v.VictimRow, 400_000)
+	runFor(t, m, 64*time.Millisecond)
+	if n := m.Mem.DRAM.FlipCount(); n != 0 {
+		t.Errorf("8x refresh rate should outrun a 14ms attack, got %d flips", n)
+	}
+}
+
+func TestPTRRValidation(t *testing.T) {
+	if _, err := NewPTRR(0, 32, 100, 1); err == nil {
+		t.Error("zero sample probability accepted")
+	}
+	if _, err := NewPTRR(1.5, 32, 100, 1); err == nil {
+		t.Error("out-of-range probability accepted")
+	}
+	if _, err := NewPTRR(0.01, 0, 100, 1); err == nil {
+		t.Error("zero table accepted")
+	}
+	if _, err := NewPTRR(0.01, 32, 0, 1); err == nil {
+		t.Error("zero MAC accepted")
+	}
+}
+
+func TestPTRRPreventsFlips(t *testing.T) {
+	// Sample 1% of activations; a tracked row hitting 500 samples (~50K
+	// real activations) refreshes its neighbours — far under the 220K an
+	// attack needs.
+	d, err := NewPTRR(0.01, 64, 500, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := hammeredMachine(t, d)
+	runFor(t, m, 128*time.Millisecond)
+	if n := m.Mem.DRAM.FlipCount(); n != 0 {
+		t.Errorf("pTRR allowed %d flips", n)
+	}
+	if d.Refreshes() == 0 {
+		t.Error("pTRR never refreshed under an active attack")
+	}
+	if d.Tracked() == 0 {
+		t.Error("pTRR tracker empty under an active attack")
+	}
+}
+
+func TestPTRRTableEvictionUnderScan(t *testing.T) {
+	// A streaming scan touches far more rows than the tracker holds; the
+	// table must stay bounded.
+	d, err := NewPTRR(0.05, 16, 1000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.DefaultConfig()
+	cfg.Cores = 1
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Attach(m.Mem.DRAM)
+	prog := workloadStream()
+	if _, err := m.Spawn(0, prog); err != nil {
+		t.Fatal(err)
+	}
+	runFor(t, m, 20*time.Millisecond)
+	if d.Tracked() > 16 {
+		t.Errorf("tracker grew to %d entries, cap is 16", d.Tracked())
+	}
+}
+
+// workloadStream returns a libquantum-style streaming program.
+func workloadStream() machine.Program {
+	p, ok := workload.ByName("libquantum")
+	if !ok {
+		panic("missing libquantum profile")
+	}
+	return workload.MustNew(p)
+}

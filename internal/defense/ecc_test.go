@@ -1,0 +1,93 @@
+package defense
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestECCValidation(t *testing.T) {
+	if _, err := NewECC(0, 64); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := NewECC(100, 0); err == nil {
+		t.Error("zero word size accepted")
+	}
+}
+
+// TestECCCorrectsSingleBitFlips: a victim row with one weak cell flips, but
+// the scrubber repairs it (no machine check) — the optimistic case.
+func TestECCCorrectsSingleBitFlips(t *testing.T) {
+	d, err := NewECC(sim.DefaultFreq.Cycles(8*time.Millisecond), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := hammeredMachine(t, d) // plants a single 400K-unit cell
+	runFor(t, m, 64*time.Millisecond)
+	d.Scrub(m.Freq.Cycles(64 * time.Millisecond))
+	if m.Mem.DRAM.FlipCount() == 0 {
+		t.Fatal("no flips; ECC test vacuous")
+	}
+	if d.Corrected() == 0 {
+		t.Error("scrubber corrected nothing")
+	}
+	if d.Uncorrectable() != 0 {
+		t.Errorf("single-cell flips reported uncorrectable: %d", d.Uncorrectable())
+	}
+}
+
+// TestECCFailsOnMultiBitWords reproduces the paper's §1.2 argument: two
+// weak cells in the same 64-bit word flip within one scrub interval, which
+// SECDED can detect but not correct.
+func TestECCFailsOnMultiBitWords(t *testing.T) {
+	d, err := NewECC(sim.DefaultFreq.Cycles(8*time.Millisecond), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, v := hammeredMachine(t, d)
+	// Two weak cells in word 0 of the victim row, close enough in
+	// threshold to flip within the same scrub window.
+	m.Mem.DRAM.PlantWeakCell(v.Bank, v.VictimRow, 400_000, 5)
+	m.Mem.DRAM.PlantWeakCell(v.Bank, v.VictimRow, 402_000, 37)
+	runFor(t, m, 64*time.Millisecond)
+	d.Scrub(m.Freq.Cycles(64 * time.Millisecond))
+	if d.Uncorrectable() == 0 {
+		t.Errorf("two flips in one word were not reported uncorrectable (flips=%d corrected=%d)",
+			m.Mem.DRAM.FlipCount(), d.Corrected())
+	}
+}
+
+// TestMultiCellRowsFlipProgressively checks the extended disturbance model:
+// a row with several planted cells flips them in threshold order.
+func TestMultiCellRowsFlipProgressively(t *testing.T) {
+	m, v := hammeredMachine(t, nil)
+	m.Mem.DRAM.PlantWeakCell(v.Bank, v.VictimRow, 400_000, 5)
+	m.Mem.DRAM.PlantWeakCell(v.Bank, v.VictimRow, 430_000, 700)
+	runFor(t, m, 64*time.Millisecond)
+	flips := m.Mem.DRAM.Flips()
+	var bits []int
+	for _, f := range flips {
+		if f.Row == v.VictimRow {
+			bits = append(bits, f.Bit)
+		}
+	}
+	if len(bits) < 2 {
+		t.Fatalf("expected at least two flips in the victim row, got %v", bits)
+	}
+	// Both explicit cells flip, weakest before strongest.
+	idx := func(bit int) int {
+		for i, b := range bits {
+			if b == bit {
+				return i
+			}
+		}
+		return -1
+	}
+	if idx(5) < 0 || idx(700) < 0 {
+		t.Fatalf("planted cells missing from flips %v", bits)
+	}
+	if idx(5) > idx(700) {
+		t.Errorf("flip order %v: bit 5 (400K) should precede bit 700 (430K)", bits)
+	}
+}

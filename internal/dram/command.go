@@ -1,0 +1,134 @@
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// DetailedTiming is the optional command-level timing engine: instead of
+// the three fixed end-to-end latencies, each access is decomposed into
+// PRE / ACT / RD-WR commands whose issue times respect the JEDEC
+// inter-command constraints. The engine is the fidelity ceiling for
+// questions like "can tFAW bound a hammer's activation rate?" — which the
+// ablation benches ask directly.
+//
+// All values are in CPU cycles; Detailed() converts from nanoseconds.
+type DetailedTiming struct {
+	TRCD sim.Cycles // ACT -> RD/WR to the same bank
+	TRP  sim.Cycles // PRE -> ACT to the same bank
+	TCL  sim.Cycles // RD -> first data
+	TRAS sim.Cycles // ACT -> PRE to the same bank
+	TRC  sim.Cycles // ACT -> ACT to the same bank (>= TRAS + TRP)
+	TRRD sim.Cycles // ACT -> ACT to different banks of one rank
+	TFAW sim.Cycles // window in which at most four ACTs hit one rank
+	TBus sim.Cycles // data burst + controller return
+}
+
+// Detailed returns DDR3-1333-class command timings at the given frequency.
+func Detailed(f sim.Freq) *DetailedTiming {
+	ns := func(n float64) sim.Cycles {
+		return sim.Cycles(n * float64(f.Hz()) / 1e9)
+	}
+	return &DetailedTiming{
+		TRCD: ns(13.5),
+		TRP:  ns(13.5),
+		TCL:  ns(13.5),
+		TRAS: ns(36),
+		TRC:  ns(49.5),
+		TRRD: ns(6),
+		TFAW: ns(30),
+		TBus: ns(14), // burst + queue + return
+	}
+}
+
+// Validate checks internal consistency.
+func (t *DetailedTiming) Validate() error {
+	if t == nil {
+		return nil
+	}
+	switch {
+	case t.TRCD == 0 || t.TRP == 0 || t.TCL == 0 || t.TRAS == 0 || t.TRC == 0:
+		return fmt.Errorf("dram: detailed timing has zero core constraints: %+v", *t)
+	case t.TRC < t.TRAS+t.TRP:
+		return fmt.Errorf("dram: tRC (%d) < tRAS+tRP (%d)", t.TRC, t.TRAS+t.TRP)
+	}
+	return nil
+}
+
+// bankTiming is the per-bank command history the engine needs.
+type bankTiming struct {
+	lastAct sim.Cycles
+	lastPre sim.Cycles
+	hasAct  bool
+}
+
+// rankTiming is the per-rank history (ACT spacing constraints).
+type rankTiming struct {
+	lastAct sim.Cycles
+	acts    [4]sim.Cycles // rolling window of the last four ACT times
+	actPos  int
+	actSeen int
+}
+
+// commandEngine computes command-accurate access latencies.
+type commandEngine struct {
+	t     *DetailedTiming
+	banks []bankTiming
+	ranks []rankTiming
+}
+
+func newCommandEngine(t *DetailedTiming, banks, ranks int) *commandEngine {
+	return &commandEngine{
+		t:     t,
+		banks: make([]bankTiming, banks),
+		ranks: make([]rankTiming, ranks),
+	}
+}
+
+// access schedules the commands for one access and returns when data is
+// available. kind describes the row-buffer outcome decided by the module.
+func (e *commandEngine) access(bank, rank int, rowHit, openRow bool, now sim.Cycles) sim.Cycles {
+	b := &e.banks[bank]
+	r := &e.ranks[rank]
+	t := e.t
+	if rowHit {
+		// RD/WR immediately (tRCD already satisfied for an open row that
+		// has served an access; for freshly opened rows lastAct gates it).
+		rd := sim.Max(now, b.lastAct+t.TRCD)
+		return rd + t.TCL + t.TBus
+	}
+
+	issue := now
+	if openRow {
+		// PRE the open row first: legal tRAS after its ACT.
+		pre := sim.Max(issue, b.lastAct+t.TRAS)
+		b.lastPre = pre
+		issue = pre + t.TRP
+	} else if b.hasAct {
+		// Bank precharged earlier; respect the PRE it closed with.
+		issue = sim.Max(issue, b.lastPre+t.TRP)
+	}
+
+	// ACT: same-bank tRC, same-rank tRRD and tFAW.
+	act := issue
+	if b.hasAct {
+		act = sim.Max(act, b.lastAct+t.TRC)
+	}
+	if r.actSeen > 0 {
+		act = sim.Max(act, r.lastAct+t.TRRD)
+	}
+	if r.actSeen >= 4 {
+		// The fourth-previous ACT opens the tFAW window.
+		act = sim.Max(act, r.acts[r.actPos]+t.TFAW)
+	}
+	b.lastAct = act
+	b.hasAct = true
+	r.lastAct = act
+	r.acts[r.actPos] = act
+	r.actPos = (r.actPos + 1) % 4
+	r.actSeen++
+
+	rd := act + t.TRCD
+	return rd + t.TCL + t.TBus
+}

@@ -1,0 +1,135 @@
+// Package dram models a DDR3-style DRAM module at the level of detail the
+// rowhammer problem requires: banks with open-page row buffers, activate /
+// precharge behaviour, the periodic auto-refresh schedule, and — centrally —
+// an electrical disturbance model in which activations of a row disturb the
+// charge of its physical neighbours and eventually flip bits in them.
+//
+// The module is the "victim hardware" of the reproduction: attacks hammer
+// it, and defenses (ANVIL's selective refresh, doubled refresh rates, PARA,
+// TRR, ...) try to prevent the disturbance accumulators from ever reaching a
+// weak cell's flip threshold.
+//
+// All time is expressed in CPU cycles (see internal/sim); the module is
+// given its timing parameters pre-converted to cycles.
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Geometry describes the physical organisation of the module.
+type Geometry struct {
+	Ranks        int // independent ranks sharing the channel
+	BanksPerRank int // banks per rank (DDR3: 8)
+	RowsPerBank  int // rows per bank
+	RowBytes     int // bytes per row (page size), power of two
+}
+
+// DefaultGeometry models the 4 GB DDR3 module from the paper:
+// 2 ranks x 8 banks x 32768 rows x 8 KiB rows = 4 GiB.
+func DefaultGeometry() Geometry {
+	return Geometry{Ranks: 2, BanksPerRank: 8, RowsPerBank: 32768, RowBytes: 8192}
+}
+
+// Validate checks the geometry for internal consistency.
+func (g Geometry) Validate() error {
+	switch {
+	case g.Ranks <= 0:
+		return fmt.Errorf("dram: Ranks must be positive, got %d", g.Ranks)
+	case g.BanksPerRank <= 0:
+		return fmt.Errorf("dram: BanksPerRank must be positive, got %d", g.BanksPerRank)
+	case g.RowsPerBank <= 0:
+		return fmt.Errorf("dram: RowsPerBank must be positive, got %d", g.RowsPerBank)
+	case g.RowBytes <= 0 || g.RowBytes&(g.RowBytes-1) != 0:
+		return fmt.Errorf("dram: RowBytes must be a positive power of two, got %d", g.RowBytes)
+	}
+	return nil
+}
+
+// Banks returns the total number of banks across all ranks.
+func (g Geometry) Banks() int { return g.Ranks * g.BanksPerRank }
+
+// Size returns the total capacity of the module in bytes.
+func (g Geometry) Size() uint64 {
+	return uint64(g.Ranks) * uint64(g.BanksPerRank) * uint64(g.RowsPerBank) * uint64(g.RowBytes)
+}
+
+// Coord identifies a DRAM location: a global bank index (rank folded in),
+// a row within that bank, and a byte column within the row.
+type Coord struct {
+	Bank int
+	Row  int
+	Col  int
+}
+
+// Rank returns the rank a global bank index belongs to.
+func (g Geometry) Rank(bank int) int { return bank / g.BanksPerRank }
+
+func (c Coord) String() string {
+	return fmt.Sprintf("bank %d row %d col %d", c.Bank, c.Row, c.Col)
+}
+
+// Timing holds the module's latency parameters, in CPU cycles.
+//
+// The simulator uses a latency-additive model rather than a full command
+// scheduler: each access is classified as a row-buffer hit, a miss into a
+// closed bank, or a conflict with an open row, and charged the matching
+// end-to-end latency (controller queue + command + data return).
+type Timing struct {
+	RowHit          sim.Cycles // access to the currently open row
+	RowClosed       sim.Cycles // ACT + CAS into a precharged bank
+	RowConflict     sim.Cycles // PRE + ACT + CAS, replacing an open row
+	RFC             sim.Cycles // refresh command duration (rank blocked)
+	RefreshPeriod   sim.Cycles // time to refresh every row once (tREFW, 64 ms)
+	RefreshCommands int        // REF commands per RefreshPeriod (DDR3: 8192)
+}
+
+// DefaultTiming returns DDR3-ish latencies at the given core frequency,
+// with the standard 64 ms refresh window.
+func DefaultTiming(f sim.Freq) Timing {
+	ns := func(n float64) sim.Cycles {
+		return sim.Cycles(n * float64(f.Hz()) / 1e9)
+	}
+	return Timing{
+		RowHit:          ns(35),               // ~91 cycles at 2.6 GHz
+		RowClosed:       ns(48),               // ~125 cycles
+		RowConflict:     ns(60),               // ~156 cycles (tRC-bound hammering)
+		RFC:             ns(350),              // 8Gb-die tRFC
+		RefreshPeriod:   f.Cycles(64_000_000), // 64 ms in ns
+		RefreshCommands: 8192,
+	}
+}
+
+// Validate checks the timing parameters.
+func (t Timing) Validate() error {
+	switch {
+	case t.RowHit == 0 || t.RowClosed == 0 || t.RowConflict == 0:
+		return fmt.Errorf("dram: access latencies must be nonzero")
+	case t.RowHit > t.RowClosed || t.RowClosed > t.RowConflict:
+		return fmt.Errorf("dram: expected RowHit <= RowClosed <= RowConflict, got %d/%d/%d",
+			t.RowHit, t.RowClosed, t.RowConflict)
+	case t.RefreshPeriod == 0:
+		return fmt.Errorf("dram: RefreshPeriod must be nonzero")
+	case t.RefreshCommands <= 0:
+		return fmt.Errorf("dram: RefreshCommands must be positive")
+	}
+	return nil
+}
+
+// TREFI returns the average interval between refresh commands.
+func (t Timing) TREFI() sim.Cycles {
+	return t.RefreshPeriod / sim.Cycles(t.RefreshCommands)
+}
+
+// WithRefreshScale returns a copy of t with the refresh period divided by
+// scale — i.e. WithRefreshScale(2) models the industry "double refresh rate"
+// mitigation (32 ms window), WithRefreshScale(4) a 16 ms window.
+func (t Timing) WithRefreshScale(scale int) Timing {
+	if scale <= 0 {
+		panic("dram: refresh scale must be positive")
+	}
+	t.RefreshPeriod = t.RefreshPeriod / sim.Cycles(scale)
+	return t
+}

@@ -1,0 +1,26 @@
+package dram
+
+import "testing"
+
+// FuzzMapperRoundTrip: both address maps invert exactly for any in-range
+// physical address.
+func FuzzMapperRoundTrip(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(0x1234_5678))
+	f.Add(uint64(1) << 31)
+	g := DefaultGeometry()
+	lin := MustLinearMapper(g, true)
+	xm, err := NewXORMapper(g, SandyBridgeMasks(g))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, pa uint64) {
+		pa %= g.Size()
+		if got := lin.Unmap(lin.Map(pa)); got != pa {
+			t.Fatalf("linear: %#x -> %v -> %#x", pa, lin.Map(pa), got)
+		}
+		if got := xm.Unmap(xm.Map(pa)); got != pa {
+			t.Fatalf("xor: %#x -> %v -> %#x", pa, xm.Map(pa), got)
+		}
+	})
+}

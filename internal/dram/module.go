@@ -1,0 +1,460 @@
+package dram
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Config assembles a Module.
+type Config struct {
+	Geometry Geometry
+	Timing   Timing
+	Disturb  DisturbConfig
+	// Mapper translates physical addresses; nil selects a LinearMapper with
+	// bank hashing disabled (row-adjacent addresses stay row-adjacent).
+	Mapper Mapper
+	// StaggerRanks offsets each rank's refresh schedule by tREFI/ranks so
+	// refresh blocking is spread in time (real controllers do this).
+	StaggerRanks bool
+	// Detailed switches access latency computation to the command-level
+	// engine (PRE/ACT/RD with JEDEC inter-command constraints). Nil keeps
+	// the fast latency-additive model.
+	Detailed *DetailedTiming
+	// Contention serialises accesses to one bank: a request arriving while
+	// the bank services another queues behind it. Off by default (the
+	// latency-additive model treats each core's accesses independently).
+	Contention bool
+}
+
+// DefaultConfig returns the paper's 4 GB DDR3 module at the given frequency.
+func DefaultConfig(f sim.Freq) Config {
+	return Config{
+		Geometry:     DefaultGeometry(),
+		Timing:       DefaultTiming(f),
+		Disturb:      DefaultDisturbConfig(),
+		StaggerRanks: true,
+	}
+}
+
+// bankState is the per-bank dynamic state.
+type bankState struct {
+	openRow    int // -1 when precharged
+	lastActRow int // previously *activated* row (for the alternation bonus)
+	lastAccess sim.Cycles
+	busyUntil  sim.Cycles
+	acts       uint64
+}
+
+// Stats aggregates module activity.
+type Stats struct {
+	Reads         uint64
+	Writes        uint64
+	RowHits       uint64
+	RowMisses     uint64 // activation into a precharged bank
+	RowConflicts  uint64 // activation displacing an open row
+	Activations   uint64
+	RefreshStalls uint64     // accesses delayed by an in-progress REF
+	StallCycles   sim.Cycles // total cycles lost to refresh blocking
+	BankQueue     sim.Cycles // cycles spent queued behind a busy bank
+	Flips         int
+}
+
+// Activates reports total row activations (misses + conflicts).
+func (s Stats) Activates() uint64 { return s.RowMisses + s.RowConflicts }
+
+// AccessResult describes the outcome of one DRAM access.
+type AccessResult struct {
+	Latency   sim.Cycles
+	Coord     Coord
+	RowHit    bool
+	Activated bool
+	Stall     sim.Cycles // refresh-blocking portion of Latency
+}
+
+// ActivateHook observes row activations; hardware defenses (PARA, TRR,
+// ARMOR) register hooks to watch the command stream the way a memory
+// controller would.
+type ActivateHook func(c Coord, now sim.Cycles)
+
+// Module is a simulated DRAM module.
+type Module struct {
+	cfg    Config
+	mapper Mapper
+	banks  []bankState
+	trefi  sim.Cycles
+
+	engine      *commandEngine        // nil unless Config.Detailed is set
+	victims     map[uint64]*victim    // (bank,row) -> accumulator
+	planted     map[uint64][]weakCell // explicit weak cells (tests, harness)
+	flips       []BitFlip
+	hooks       []ActivateHook
+	interceptor func(c Coord, now sim.Cycles) bool
+
+	stats Stats
+}
+
+func victimKey(bank, row int) uint64 { return uint64(bank)<<32 | uint64(uint32(row)) }
+
+// New builds a Module. The zero-value Config is invalid; start from
+// DefaultConfig.
+func New(cfg Config) (*Module, error) {
+	if err := cfg.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Timing.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Disturb.Validate(); err != nil {
+		return nil, err
+	}
+	mapper := cfg.Mapper
+	if mapper == nil {
+		var err error
+		mapper, err = NewLinearMapper(cfg.Geometry, false)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := cfg.Detailed.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Module{
+		cfg:     cfg,
+		mapper:  mapper,
+		banks:   make([]bankState, cfg.Geometry.Banks()),
+		trefi:   cfg.Timing.TREFI(),
+		victims: make(map[uint64]*victim),
+		planted: make(map[uint64][]weakCell),
+	}
+	if cfg.Detailed != nil {
+		m.engine = newCommandEngine(cfg.Detailed, cfg.Geometry.Banks(), cfg.Geometry.Ranks)
+	}
+	for i := range m.banks {
+		m.banks[i].openRow = -1
+		m.banks[i].lastActRow = -1
+	}
+	return m, nil
+}
+
+// Mapper returns the address map in use.
+func (m *Module) Mapper() Mapper { return m.mapper }
+
+// Config returns the module's configuration.
+func (m *Module) Config() Config { return m.cfg }
+
+// Stats returns a snapshot of the module's counters.
+func (m *Module) Stats() Stats {
+	s := m.stats
+	s.Flips = len(m.flips)
+	return s
+}
+
+// Flips returns all recorded bit flips, in occurrence order.
+func (m *Module) Flips() []BitFlip {
+	return append([]BitFlip(nil), m.flips...)
+}
+
+// FlipCount returns the number of bit flips recorded so far.
+func (m *Module) FlipCount() int { return len(m.flips) }
+
+// OnActivate registers a hook invoked on every row activation.
+func (m *Module) OnActivate(h ActivateHook) { m.hooks = append(m.hooks, h) }
+
+// SetInterceptor installs a pre-activation filter: when it returns true the
+// access is served without opening the DRAM row (the mechanism behind
+// ARMOR-style hot-row buffers in the memory controller). Row-buffer hits
+// are not intercepted — they never activate.
+func (m *Module) SetInterceptor(f func(c Coord, now sim.Cycles) bool) { m.interceptor = f }
+
+// PlantWeakRow overrides the weak cells of one row with a single cell at
+// the given threshold, making experiments exactly reproducible regardless
+// of the procedural weak-cell map.
+func (m *Module) PlantWeakRow(bank, row int, units float64) {
+	if units <= 0 {
+		panic(fmt.Sprintf("dram: planted threshold must be positive, got %g", units))
+	}
+	bit := int(rowHash(m.cfg.Disturb.Seed^0xb17f11b, bank, row) % uint64(m.cfg.Geometry.RowBytes*8))
+	m.planted[victimKey(bank, row)] = []weakCell{{threshold: units, bit: bit}}
+}
+
+// PlantWeakCell appends one explicit weak cell (threshold + bit position)
+// to a row. Planting several cells in the same 64-bit word models the
+// multi-flip-per-word behaviour that defeats SECDED ECC (§1.2).
+func (m *Module) PlantWeakCell(bank, row int, units float64, bit int) {
+	if units <= 0 {
+		panic(fmt.Sprintf("dram: planted threshold must be positive, got %g", units))
+	}
+	if bit < 0 || bit >= m.cfg.Geometry.RowBytes*8 {
+		panic(fmt.Sprintf("dram: bit %d outside the row", bit))
+	}
+	k := victimKey(bank, row)
+	cells := append(m.planted[k], weakCell{threshold: units, bit: bit})
+	sort.Slice(cells, func(i, j int) bool { return cells[i].threshold < cells[j].threshold })
+	m.planted[k] = cells
+}
+
+// rowCells returns the row's weak cells, weakest first.
+func (m *Module) rowCells(bank, row int) []weakCell {
+	if cells, ok := m.planted[victimKey(bank, row)]; ok {
+		return cells
+	}
+	return m.cfg.Disturb.cells(bank, row, m.cfg.Geometry.RowBytes*8)
+}
+
+// RowThreshold reports the flip threshold of (bank,row)'s weakest cell, and
+// whether the row can flip at all.
+func (m *Module) RowThreshold(bank, row int) (float64, bool) {
+	if cells, ok := m.planted[victimKey(bank, row)]; ok {
+		return cells[0].threshold, true
+	}
+	return m.cfg.Disturb.threshold(bank, row)
+}
+
+// WeakRows scans a bank for rows with thresholds at most maxUnits and
+// returns them ordered weakest first. It models an attacker's (or test
+// harness's) memory-profiling step.
+func (m *Module) WeakRows(bank int, maxUnits float64, limit int) []int {
+	type wr struct {
+		row int
+		t   float64
+	}
+	var out []wr
+	for row := 0; row < m.cfg.Geometry.RowsPerBank; row++ {
+		if t, ok := m.RowThreshold(bank, row); ok && t <= maxUnits {
+			out = append(out, wr{row, t})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].t != out[j].t {
+			return out[i].t < out[j].t
+		}
+		return out[i].row < out[j].row
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	rows := make([]int, len(out))
+	for i, w := range out {
+		rows[i] = w.row
+	}
+	return rows
+}
+
+// VictimUnits reports the current disturbance accumulator of (bank,row),
+// applying any pending lazy refresh first. Intended for tests and detectors
+// with oracle access.
+func (m *Module) VictimUnits(bank, row int, now sim.Cycles) float64 {
+	v, ok := m.victims[victimKey(bank, row)]
+	if !ok {
+		return 0
+	}
+	if r := m.lastScheduledRefresh(row, now); r > v.lastReset {
+		return 0
+	}
+	return v.units
+}
+
+// lastScheduledRefresh returns the time of the most recent periodic-refresh
+// sweep of the given row at or before now (0 if it has not been refreshed
+// since the start of the simulation). The sweep is evaluated lazily so no
+// per-tREFI events are needed.
+func (m *Module) lastScheduledRefresh(row int, now sim.Cycles) sim.Cycles {
+	cmds := uint64(m.cfg.Timing.RefreshCommands)
+	rowsPerCmd := (uint64(m.cfg.Geometry.RowsPerBank) + cmds - 1) / cmds
+	bin := uint64(row) / rowsPerCmd
+	kNow := uint64(now) / uint64(m.trefi)
+	if kNow < bin {
+		return 0
+	}
+	kLast := kNow - (kNow-bin)%cmds
+	return sim.Cycles(kLast) * m.trefi
+}
+
+// refreshStall returns how long an access arriving at now on the given rank
+// must wait for an in-progress REF command to finish.
+func (m *Module) refreshStall(rank int, now sim.Cycles) sim.Cycles {
+	offset := sim.Cycles(0)
+	if m.cfg.StaggerRanks && m.cfg.Geometry.Ranks > 1 {
+		offset = m.trefi / sim.Cycles(m.cfg.Geometry.Ranks) * sim.Cycles(rank)
+	}
+	t := uint64(now) + uint64(m.trefi) - uint64(offset)
+	phase := sim.Cycles(t % uint64(m.trefi))
+	if phase < m.cfg.Timing.RFC {
+		return m.cfg.Timing.RFC - phase
+	}
+	return 0
+}
+
+// Access performs one read or write of the physical address at simulated
+// time now and returns its latency and classification.
+func (m *Module) Access(pa uint64, write bool, now sim.Cycles) AccessResult {
+	c := m.mapper.Map(pa)
+	return m.AccessCoord(c, write, now)
+}
+
+// AccessCoord is Access for a pre-decoded coordinate.
+func (m *Module) AccessCoord(c Coord, write bool, now sim.Cycles) AccessResult {
+	if write {
+		m.stats.Writes++
+	} else {
+		m.stats.Reads++
+	}
+	stall := m.refreshStall(m.cfg.Geometry.Rank(c.Bank), now)
+	if stall > 0 {
+		m.stats.RefreshStalls++
+		m.stats.StallCycles += stall
+		now += stall
+	}
+	b := &m.banks[c.Bank]
+	if m.cfg.Contention && b.busyUntil > now {
+		queue := b.busyUntil - now
+		m.stats.BankQueue += queue
+		stall += queue
+		now = b.busyUntil
+	}
+	// An auto-refresh command requires all banks precharged, so any REF
+	// since the bank's last access closed its open row.
+	if b.openRow >= 0 && uint64(now)/uint64(m.trefi) != uint64(b.lastAccess)/uint64(m.trefi) {
+		b.openRow = -1
+	}
+	b.lastAccess = now
+	res := AccessResult{Coord: c, Stall: stall}
+	rank := m.cfg.Geometry.Rank(c.Bank)
+	switch {
+	case b.openRow == c.Row:
+		m.stats.RowHits++
+		res.RowHit = true
+		res.Latency = stall + m.latency(c.Bank, rank, true, false, now)
+	case m.interceptor != nil && m.interceptor(c, now):
+		// Served from a controller-side buffer: no activation occurs.
+		res.RowHit = true
+		res.Latency = stall + m.latency(c.Bank, rank, true, false, now)
+	case b.openRow < 0:
+		m.stats.RowMisses++
+		res.Activated = true
+		res.Latency = stall + m.latency(c.Bank, rank, false, false, now)
+	default:
+		m.stats.RowConflicts++
+		res.Activated = true
+		res.Latency = stall + m.latency(c.Bank, rank, false, true, now)
+	}
+	if m.cfg.Contention {
+		b.busyUntil = now + res.Latency - stall
+	}
+	if res.Activated {
+		m.activate(c, now)
+	}
+	return res
+}
+
+// latency computes the access latency via the fixed model or, when
+// configured, the command-level engine.
+func (m *Module) latency(bank, rank int, rowHit, openRow bool, now sim.Cycles) sim.Cycles {
+	if m.engine == nil {
+		switch {
+		case rowHit:
+			return m.cfg.Timing.RowHit
+		case openRow:
+			return m.cfg.Timing.RowConflict
+		default:
+			return m.cfg.Timing.RowClosed
+		}
+	}
+	data := m.engine.access(bank, rank, rowHit, openRow, now)
+	return data - now
+}
+
+// RefreshRow refreshes one row directly (the path used by hardware defenses
+// like TRR/PARA, which issue internal refreshes without a CPU read). It
+// clears the row's disturbance accumulator and counts as an activation for
+// neighbouring rows, exactly like a read would.
+func (m *Module) RefreshRow(bank, row int, now sim.Cycles) {
+	if bank < 0 || bank >= len(m.banks) || row < 0 || row >= m.cfg.Geometry.RowsPerBank {
+		return
+	}
+	m.activate(Coord{Bank: bank, Row: row}, now)
+}
+
+// activate performs the disturbance bookkeeping for an activation of c.Row.
+func (m *Module) activate(c Coord, now sim.Cycles) {
+	b := &m.banks[c.Bank]
+	b.openRow = c.Row
+	b.lastActRow = c.Row
+	b.acts++
+	m.stats.Activations++
+
+	// The activated row's own charge is restored.
+	if v, ok := m.victims[victimKey(c.Bank, c.Row)]; ok {
+		v.units = 0
+		v.lastReset = now
+		v.lastSide = 0
+		v.flipped = 0
+	}
+
+	// Disturb the neighbours.
+	m.disturb(c.Bank, c.Row-1, +1, 1, now)
+	m.disturb(c.Bank, c.Row+1, -1, 1, now)
+	if far := m.cfg.Disturb.FarCouplingRatio; far > 0 {
+		m.disturb(c.Bank, c.Row-2, +1, far, now)
+		m.disturb(c.Bank, c.Row+2, -1, far, now)
+	}
+
+	for _, h := range m.hooks {
+		h(c, now)
+	}
+}
+
+// disturb deposits units into victim row `row` of `bank` due to an
+// activation of the neighbour on the given side (+1: the aggressor is the
+// row above the victim; -1: below).
+func (m *Module) disturb(bank, row int, side int8, scale float64, now sim.Cycles) {
+	if row < 0 || row >= m.cfg.Geometry.RowsPerBank {
+		return
+	}
+	key := victimKey(bank, row)
+	v, ok := m.victims[key]
+	if !ok {
+		v = &victim{}
+		m.victims[key] = v
+	}
+	// Lazy periodic-refresh reset.
+	if r := m.lastScheduledRefresh(row, now); r > v.lastReset {
+		v.units = 0
+		v.lastReset = r
+		v.lastSide = 0
+		v.flipped = 0
+	}
+	units := scale
+	// Alternation bonus: the victim's previous disturbance came from its
+	// other neighbour (double-sided hammering discharges super-linearly).
+	if scale == 1 && v.lastSide != 0 && v.lastSide != side {
+		units += m.cfg.Disturb.AlternationBonus
+	}
+	if scale == 1 {
+		v.lastSide = side
+	}
+	v.units += units
+	// Fast path: materialise the cell list only when the weakest cell's
+	// threshold has been reached (the hot path runs on every activation).
+	if thr, vulnerable := m.RowThreshold(bank, row); !vulnerable || v.units < thr {
+		return
+	}
+	cells := m.rowCells(bank, row)
+	for v.flipped < len(cells) && v.units >= cells[v.flipped].threshold {
+		m.flips = append(m.flips, BitFlip{
+			Bank: bank,
+			Row:  row,
+			Bit:  cells[v.flipped].bit,
+			Time: now,
+		})
+		v.flipped++
+	}
+}
+
+// OpenRow reports the currently open row in a bank (-1 if precharged).
+func (m *Module) OpenRow(bank int) int { return m.banks[bank].openRow }
+
+// BankActivations reports the number of activations a bank has seen.
+func (m *Module) BankActivations(bank int) uint64 { return m.banks[bank].acts }

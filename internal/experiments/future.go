@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/anvil"
+	"repro/internal/defense"
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// Section45Row is one robustness scenario of §4.5: a future, weaker DRAM
+// (flips at half the disturbance) attacked fast or slow, against the
+// matching ANVIL configuration.
+type Section45Row struct {
+	Scenario   string
+	Config     string
+	Detections int
+	BitFlips   int
+}
+
+// Section45 evaluates ANVIL-heavy against a flat-out attack and ANVIL-light
+// against an attack spread across the whole refresh period, both on DRAM
+// that flips at 110K double-sided accesses (200K units).
+func Section45(cfg Config) ([]Section45Row, error) {
+	dur := cfg.scaleDur(512 * time.Millisecond)
+	type scenario struct {
+		name   string
+		delay  sim.Cycles
+		params anvil.Params
+		pname  string
+	}
+	scenarios := []scenario{
+		{"fast attack (110K accesses in ~7ms)", 0, anvil.Heavy(), "ANVIL-heavy"},
+		{"slow attack (110K accesses over 64ms)", 1200, anvil.Light(), "ANVIL-light"},
+	}
+	var rows []Section45Row
+	for _, sc := range scenarios {
+		m, err := newMachine(1, func(c *machine.Config) {
+			c.Memory.DRAM.Disturb = c.Memory.DRAM.Disturb.Scaled(0.5)
+		})
+		if err != nil {
+			return nil, err
+		}
+		opts := attackOptions(m)
+		opts.ExtraDelay = sc.delay
+		h, err := newHammer(doubleSidedFlush, opts)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := m.Spawn(0, h); err != nil {
+			return nil, err
+		}
+		v := h.Victim()
+		m.Mem.DRAM.PlantWeakRow(v.Bank, v.VictimRow, victimThreshold/2)
+		det, err := startANVIL(m, sc.params)
+		if err != nil {
+			return nil, err
+		}
+		if err := runFor(m, dur); err != nil {
+			return nil, err
+		}
+		rows = append(rows, Section45Row{
+			Scenario:   sc.name,
+			Config:     sc.pname,
+			Detections: len(det.Stats().Detections),
+			BitFlips:   m.Mem.DRAM.FlipCount(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderSection45 formats the robustness results.
+func RenderSection45(rows []Section45Row) string {
+	t := report.New("Section 4.5: Robustness to Future Attacks (DRAM flipping at 110K accesses)",
+		"Scenario", "Detector", "Detections", "Bit Flips")
+	for _, r := range rows {
+		t.AddStrings(r.Scenario, r.Config, fmt.Sprintf("%d", r.Detections), fmt.Sprintf("%d", r.BitFlips))
+	}
+	return t.String()
+}
+
+// DefenseRow compares one mitigation against the CLFLUSH attack.
+type DefenseRow struct {
+	Defense    string
+	BitFlips   int
+	Refreshes  uint64
+	Deployable string // "existing systems" vs "new hardware"
+}
+
+// Defenses is the extension comparison (§5 landscape): every mitigation in
+// the repository against the double-sided CLFLUSH attack on the standard
+// module.
+func Defenses(cfg Config) ([]DefenseRow, error) {
+	dur := cfg.scaleDur(256 * time.Millisecond)
+	type entry struct {
+		name       string
+		refresh    int // refresh-rate scale
+		mk         func() (defense.Defense, error)
+		useANVIL   *anvil.Params
+		deployable string
+	}
+	baseline := anvil.Baseline()
+	entries := []entry{
+		{"none (64ms refresh)", 1, nil, nil, "-"},
+		{"2x refresh (32ms)", 2, nil, nil, "existing systems"},
+		{"ANVIL-baseline", 1, nil, &baseline, "existing systems"},
+		{"PARA p=0.001", 1, func() (defense.Defense, error) { return defense.NewPARA(0.001, 0xdead) }, nil, "new hardware"},
+		{"TRR MAC=50K/16ms", 1, func() (defense.Defense, error) {
+			return defense.NewTRR(50_000, sim.DefaultFreq.Cycles(16*time.Millisecond))
+		}, nil, "new hardware"},
+		{"pTRR 1%/64-entry", 1, func() (defense.Defense, error) {
+			return defense.NewPTRR(0.01, 64, 500, 0x717)
+		}, nil, "shipping (Xeon)"},
+		{"CRA counters 100K", 1, func() (defense.Defense, error) { return defense.NewCRA(100_000) }, nil, "new hardware"},
+		{"ARMOR hot-row buffer", 1, func() (defense.Defense, error) {
+			return defense.NewARMOR(10_000, 8, sim.DefaultFreq.Cycles(32*time.Millisecond))
+		}, nil, "new hardware"},
+	}
+	var rows []DefenseRow
+	for _, e := range entries {
+		m, err := newMachine(1, func(c *machine.Config) {
+			if e.refresh > 1 {
+				c.Memory.DRAM.Timing = c.Memory.DRAM.Timing.WithRefreshScale(e.refresh)
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		var d defense.Defense
+		if e.mk != nil {
+			if d, err = e.mk(); err != nil {
+				return nil, err
+			}
+			d.Attach(m.Mem.DRAM)
+		}
+		if _, err := spawnHammer(m, doubleSidedFlush, attackOptions(m)); err != nil {
+			return nil, err
+		}
+		var det *anvil.Detector
+		if e.useANVIL != nil {
+			if det, err = startANVIL(m, *e.useANVIL); err != nil {
+				return nil, err
+			}
+		}
+		if err := runFor(m, dur); err != nil {
+			return nil, err
+		}
+		row := DefenseRow{Defense: e.name, BitFlips: m.Mem.DRAM.FlipCount(), Deployable: e.deployable}
+		if d != nil {
+			row.Refreshes = d.Refreshes()
+		}
+		if det != nil {
+			row.Refreshes = det.Stats().Refreshes
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderDefenses formats the comparison.
+func RenderDefenses(rows []DefenseRow) string {
+	t := report.New("Defense Comparison: double-sided CLFLUSH attack, weakest row 400K units",
+		"Defense", "Bit Flips", "Victim Refreshes", "Deployability")
+	for _, r := range rows {
+		t.AddStrings(r.Defense, fmt.Sprintf("%d", r.BitFlips), fmt.Sprintf("%d", r.Refreshes), r.Deployable)
+	}
+	return t.String()
+}

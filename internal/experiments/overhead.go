@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/anvil"
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// Table4Row is one row of Table 4: false-positive refresh rates.
+type Table4Row struct {
+	Benchmark       string
+	RefreshesPerSec float64
+	CrossingFrac    float64 // fraction of stage-1 windows crossed (§4.3)
+}
+
+// Table4 runs each SPEC profile alone under ANVIL-baseline and reports the
+// rate of superfluous selective refreshes (every detection is a false
+// positive: no attack is running).
+func Table4(cfg Config) ([]Table4Row, error) {
+	return falsePositives(cfg, anvil.Baseline(), workload.SPEC2006())
+}
+
+func falsePositives(cfg Config, params anvil.Params, profs []workload.Profile) ([]Table4Row, error) {
+	dur := cfg.scaleDur(4 * time.Second)
+	var rows []Table4Row
+	for _, prof := range profs {
+		m, err := newMachine(1, nil)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := m.Spawn(0, workload.MustNew(prof)); err != nil {
+			return nil, err
+		}
+		det, err := startANVIL(m, params)
+		if err != nil {
+			return nil, err
+		}
+		if err := runFor(m, dur); err != nil {
+			return nil, err
+		}
+		st := det.Stats()
+		rows = append(rows, Table4Row{
+			Benchmark:       prof.Name,
+			RefreshesPerSec: float64(st.Refreshes) / dur.Seconds(),
+			CrossingFrac:    st.CrossingFraction(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable4 formats Table 4.
+func RenderTable4(rows []Table4Row) string {
+	t := report.New("Table 4: Rate of False Positive Refreshes (ANVIL-baseline)",
+		"Benchmark", "Refreshes/sec", "Stage-1 crossing")
+	for _, r := range rows {
+		t.AddStrings(r.Benchmark,
+			fmt.Sprintf("%.2f", r.RefreshesPerSec),
+			fmt.Sprintf("%.0f%%", 100*r.CrossingFrac))
+	}
+	return t.String()
+}
+
+// Figure3Row is one bar pair of Figure 3: normalized execution time under
+// ANVIL and under doubled refresh rate, relative to the unprotected system.
+type Figure3Row struct {
+	Benchmark     string
+	ANVIL         float64
+	DoubleRefresh float64
+}
+
+// measureRuntime runs the profile for a fixed amount of work and returns
+// the completion time in cycles.
+func measureRuntime(prof workload.Profile, ops uint64, params *anvil.Params, refreshScale int) (time.Duration, error) {
+	m, err := newMachine(1, func(c *machine.Config) {
+		if refreshScale > 1 {
+			c.Memory.DRAM.Timing = c.Memory.DRAM.Timing.WithRefreshScale(refreshScale)
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	prog := workload.MustNew(prof).WithOpLimit(ops)
+	if _, err := m.Spawn(0, prog); err != nil {
+		return 0, err
+	}
+	if params != nil {
+		if _, err := startANVIL(m, *params); err != nil {
+			return 0, err
+		}
+	}
+	if err := m.Run(1 << 62); err != nil && !errors.Is(err, machine.ErrAllDone) {
+		return 0, err
+	}
+	return m.Freq.Duration(m.Cores[0].Now), nil
+}
+
+// Figure3 measures, for every SPEC profile, the fixed-work slowdown of
+// (a) running under ANVIL-baseline and (b) doubling the DRAM refresh rate.
+func Figure3(cfg Config) ([]Figure3Row, error) {
+	var rows []Figure3Row
+	base := anvil.Baseline()
+	for _, prof := range workload.SPEC2006() {
+		ops := cfg.scaleOps(fixedWorkOps(prof))
+		t0, err := measureRuntime(prof, ops, nil, 1)
+		if err != nil {
+			return nil, err
+		}
+		t1, err := measureRuntime(prof, ops, &base, 1)
+		if err != nil {
+			return nil, err
+		}
+		t2, err := measureRuntime(prof, ops, nil, 2)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Figure3Row{
+			Benchmark:     prof.Name,
+			ANVIL:         float64(t1) / float64(t0),
+			DoubleRefresh: float64(t2) / float64(t0),
+		})
+	}
+	return rows, nil
+}
+
+// Figure3Summary returns the average and peak ANVIL overheads (the paper's
+// headline numbers: average 1.17%, peak 3.18%).
+func Figure3Summary(rows []Figure3Row) (avg, peak float64) {
+	if len(rows) == 0 {
+		return 0, 0
+	}
+	sum := 0.0
+	for _, r := range rows {
+		sum += r.ANVIL
+		if r.ANVIL > peak {
+			peak = r.ANVIL
+		}
+	}
+	return sum / float64(len(rows)), peak
+}
+
+// RenderFigure3 formats the figure's series as a table.
+func RenderFigure3(rows []Figure3Row) string {
+	t := report.New("Figure 3: Normalized Execution Time (1.00 = unprotected, 64ms refresh)",
+		"Benchmark", "ANVIL", "Double Refresh")
+	for _, r := range rows {
+		t.AddStrings(r.Benchmark, fmt.Sprintf("%.4f", r.ANVIL), fmt.Sprintf("%.4f", r.DoubleRefresh))
+	}
+	avg, peak := Figure3Summary(rows)
+	t.AddStrings("mean", fmt.Sprintf("%.4f", avg), "")
+	t.AddStrings("peak", fmt.Sprintf("%.4f", peak), "")
+	bars := report.NewBars("\nANVIL overhead (bar = normalized execution time, 1.00-1.05)", 1.0, 1.05, 40)
+	for _, r := range rows {
+		bars.Add(r.Benchmark, r.ANVIL)
+	}
+	return t.String() + bars.String()
+}
+
+// figure4Benchmarks are the five profiles of Figure 4 / Table 5.
+func figure4Benchmarks() []workload.Profile {
+	var out []workload.Profile
+	for _, name := range []string{"bzip2", "gcc", "gobmk", "libquantum", "perlbench"} {
+		p, ok := workload.ByName(name)
+		if !ok {
+			panic("experiments: missing profile " + name)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Figure4Row is one benchmark's normalized execution time under the three
+// ANVIL configurations.
+type Figure4Row struct {
+	Benchmark string
+	Baseline  float64
+	Light     float64
+	Heavy     float64
+}
+
+// Figure4 measures the sensitivity of execution overhead to the detector
+// configuration (§4.5).
+func Figure4(cfg Config) ([]Figure4Row, error) {
+	var rows []Figure4Row
+	b, l, h := anvil.Baseline(), anvil.Light(), anvil.Heavy()
+	for _, prof := range figure4Benchmarks() {
+		ops := cfg.scaleOps(fixedWorkOps(prof))
+		t0, err := measureRuntime(prof, ops, nil, 1)
+		if err != nil {
+			return nil, err
+		}
+		norm := func(p anvil.Params) (float64, error) {
+			t, err := measureRuntime(prof, ops, &p, 1)
+			if err != nil {
+				return 0, err
+			}
+			return float64(t) / float64(t0), nil
+		}
+		row := Figure4Row{Benchmark: prof.Name}
+		if row.Baseline, err = norm(b); err != nil {
+			return nil, err
+		}
+		if row.Light, err = norm(l); err != nil {
+			return nil, err
+		}
+		if row.Heavy, err = norm(h); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFigure4 formats the figure's series.
+func RenderFigure4(rows []Figure4Row) string {
+	t := report.New("Figure 4: Execution Overhead Sensitivity to Detector Configuration",
+		"Benchmark", "ANVIL-baseline", "ANVIL-light", "ANVIL-heavy")
+	for _, r := range rows {
+		t.AddStrings(r.Benchmark,
+			fmt.Sprintf("%.4f", r.Baseline),
+			fmt.Sprintf("%.4f", r.Light),
+			fmt.Sprintf("%.4f", r.Heavy))
+	}
+	bars := report.NewBars("\nANVIL-heavy overhead (1.00-1.05)", 1.0, 1.05, 40)
+	for _, r := range rows {
+		bars.Add(r.Benchmark, r.Heavy)
+	}
+	return t.String() + bars.String()
+}
+
+// Table5Row is one benchmark's false-positive rates under ANVIL-light and
+// ANVIL-heavy.
+type Table5Row struct {
+	Benchmark string
+	Light     float64
+	Heavy     float64
+}
+
+// Table5 measures false-positive refresh rates for the light and heavy
+// configurations over the Figure 4 benchmarks.
+func Table5(cfg Config) ([]Table5Row, error) {
+	light, err := falsePositives(cfg, anvil.Light(), figure4Benchmarks())
+	if err != nil {
+		return nil, err
+	}
+	heavy, err := falsePositives(cfg, anvil.Heavy(), figure4Benchmarks())
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table5Row
+	for i := range light {
+		rows = append(rows, Table5Row{
+			Benchmark: light[i].Benchmark,
+			Light:     light[i].RefreshesPerSec,
+			Heavy:     heavy[i].RefreshesPerSec,
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable5 formats Table 5.
+func RenderTable5(rows []Table5Row) string {
+	t := report.New("Table 5: False Positive Refresh Rates, ANVIL-light vs ANVIL-heavy",
+		"Benchmark", "Refreshes/sec (light)", "Refreshes/sec (heavy)")
+	for _, r := range rows {
+		t.AddStrings(r.Benchmark, fmt.Sprintf("%.2f", r.Light), fmt.Sprintf("%.2f", r.Heavy))
+	}
+	return t.String()
+}

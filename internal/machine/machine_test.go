@@ -1,0 +1,310 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// scriptProgram replays a fixed op list.
+type scriptProgram struct {
+	name    string
+	mapVA   uint64
+	mapLen  uint64
+	ops     []Op
+	idx     int
+	initErr error
+}
+
+func (p *scriptProgram) Name() string { return p.name }
+
+func (p *scriptProgram) Init(proc *Proc) error {
+	if p.initErr != nil {
+		return p.initErr
+	}
+	if p.mapLen > 0 {
+		return proc.AS.Map(p.mapVA, p.mapLen)
+	}
+	return nil
+}
+
+func (p *scriptProgram) Next() Op {
+	if p.idx >= len(p.ops) {
+		return Op{Kind: OpDone}
+	}
+	op := p.ops[p.idx]
+	p.idx++
+	return op
+}
+
+// loopProgram issues loads over a buffer forever.
+type loopProgram struct {
+	name   string
+	stride uint64
+	n      uint64
+	i      uint64
+}
+
+func (p *loopProgram) Name() string { return p.name }
+func (p *loopProgram) Init(proc *Proc) error {
+	return proc.AS.Map(0, p.n*p.stride+vm.PageSize)
+}
+func (p *loopProgram) Next() Op {
+	va := (p.i % p.n) * p.stride
+	p.i++
+	return Op{Kind: OpLoad, VA: va}
+}
+
+func newMachine(t *testing.T, cores int) *Machine {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Cores = cores
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMachineRunsScriptToCompletion(t *testing.T) {
+	m := newMachine(t, 1)
+	prog := &scriptProgram{
+		name: "script", mapLen: vm.PageSize,
+		ops: []Op{
+			{Kind: OpCompute, Cycles: 100},
+			{Kind: OpLoad, VA: 8},
+			{Kind: OpStore, VA: 16},
+			{Kind: OpFlush, VA: 8},
+			{Kind: OpLoad, VA: 8},
+		},
+	}
+	if _, err := m.Spawn(0, prog); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Run(1 << 40)
+	if !errors.Is(err, ErrAllDone) {
+		t.Fatalf("Run = %v, want ErrAllDone", err)
+	}
+	c := m.Cores[0]
+	if c.Stats.Loads != 2 || c.Stats.Stores != 1 || c.Stats.Flushes != 1 {
+		t.Errorf("stats = %+v", c.Stats)
+	}
+	if c.Stats.ComputeCycles != 100 {
+		t.Errorf("compute cycles = %d", c.Stats.ComputeCycles)
+	}
+	// The flushed line had to be refetched from DRAM.
+	if got := m.Mem.PMU.Read(0); got == 0 { // EvLLCMiss
+		t.Error("no LLC misses counted")
+	}
+	if c.Now == 0 {
+		t.Error("core clock did not advance")
+	}
+}
+
+func TestMachinePageFaultAbortsProgram(t *testing.T) {
+	m := newMachine(t, 1)
+	prog := &scriptProgram{
+		name: "faulty", mapLen: vm.PageSize,
+		ops: []Op{{Kind: OpLoad, VA: 1 << 30}},
+	}
+	if _, err := m.Spawn(0, prog); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Run(1 << 40)
+	if err == nil || errors.Is(err, ErrAllDone) {
+		t.Fatalf("Run = %v, want page-fault error", err)
+	}
+	if !errors.Is(err, vm.ErrUnmapped) {
+		t.Errorf("error chain missing ErrUnmapped: %v", err)
+	}
+}
+
+func TestMachineDeadlineStopsRun(t *testing.T) {
+	m := newMachine(t, 1)
+	if _, err := m.Spawn(0, &loopProgram{name: "loop", stride: 64, n: 4}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := sim.Cycles(1_000_000)
+	if err := m.Run(deadline); err != nil {
+		t.Fatal(err)
+	}
+	now := m.Cores[0].Now
+	if now < deadline || now > deadline+10_000 {
+		t.Errorf("stopped at %d, want just past %d", now, deadline)
+	}
+}
+
+func TestMachineMultiCoreInterleavesByTime(t *testing.T) {
+	m := newMachine(t, 2)
+	fast := &loopProgram{name: "fast", stride: 64, n: 4}         // cache-resident
+	slow := &loopProgram{name: "slow", stride: 1 << 13, n: 4096} // DRAM-heavy
+	if _, err := m.Spawn(0, fast); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Spawn(1, slow); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	f, s := m.Cores[0].Stats, m.Cores[1].Stats
+	if f.Ops <= s.Ops {
+		t.Errorf("cache-resident core ran %d ops vs %d for DRAM-bound; expected more", f.Ops, s.Ops)
+	}
+	// Both clocks must have reached the deadline zone.
+	if m.Cores[0].Now < 2_000_000 || m.Cores[1].Now < 2_000_000 {
+		t.Errorf("clocks: %d, %d", m.Cores[0].Now, m.Cores[1].Now)
+	}
+}
+
+func TestKernelTimersFireInOrder(t *testing.T) {
+	m := newMachine(t, 1)
+	if _, err := m.Spawn(0, &loopProgram{name: "loop", stride: 64, n: 4}); err != nil {
+		t.Fatal(err)
+	}
+	var fired []sim.Cycles
+	m.Kernel.At(50_000, func(now sim.Cycles) { fired = append(fired, now) })
+	m.Kernel.At(10_000, func(now sim.Cycles) {
+		fired = append(fired, now)
+		// Handlers can schedule follow-ups.
+		m.Kernel.At(now+5_000, func(n2 sim.Cycles) { fired = append(fired, n2) })
+	})
+	if err := m.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 3 {
+		t.Fatalf("fired %v", fired)
+	}
+	if fired[0] != 10_000 || fired[1] != 15_000 || fired[2] != 50_000 {
+		t.Errorf("firing order %v", fired)
+	}
+}
+
+func TestChargeStealsCycles(t *testing.T) {
+	m := newMachine(t, 1)
+	if _, err := m.Spawn(0, &loopProgram{name: "loop", stride: 64, n: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Cores[0].Now
+	m.Charge(0, 12_345)
+	if m.Cores[0].Now != before+12_345 {
+		t.Error("Charge did not advance the clock")
+	}
+	if m.Cores[0].Stats.KernelCycles != 12_345 {
+		t.Errorf("kernel cycles = %d", m.Cores[0].Stats.KernelCycles)
+	}
+	m.ChargeCurrent(5) // no current op: charged to core 0
+	if m.Cores[0].Stats.KernelCycles != 12_350 {
+		t.Errorf("kernel cycles = %d", m.Cores[0].Stats.KernelCycles)
+	}
+}
+
+func TestSpawnErrors(t *testing.T) {
+	m := newMachine(t, 1)
+	if _, err := m.Spawn(5, &scriptProgram{name: "x"}); err == nil {
+		t.Error("bad core accepted")
+	}
+	if _, err := m.Spawn(0, &scriptProgram{name: "bad", initErr: errors.New("boom")}); err == nil {
+		t.Error("failing Init accepted")
+	}
+	if _, err := m.Spawn(0, &loopProgram{name: "a", stride: 64, n: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Spawn(0, &loopProgram{name: "b", stride: 64, n: 4}); err == nil {
+		t.Error("double spawn on one core accepted")
+	}
+}
+
+func TestTaskSpaceLookup(t *testing.T) {
+	m := newMachine(t, 1)
+	p, err := m.Spawn(0, &loopProgram{name: "loop", stride: 64, n: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kernel.TaskSpace(p.ID) != p.AS {
+		t.Error("TaskSpace returned wrong address space")
+	}
+	if m.Kernel.TaskSpace(9999) != nil {
+		t.Error("unknown task returned non-nil space")
+	}
+}
+
+func TestRunWithNoPrograms(t *testing.T) {
+	m := newMachine(t, 2)
+	if err := m.Run(1000); !errors.Is(err, ErrAllDone) {
+		t.Errorf("Run with no programs = %v", err)
+	}
+}
+
+func TestNewRejectsZeroCores(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cores = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("zero cores accepted")
+	}
+}
+
+func TestTimeReporting(t *testing.T) {
+	m := newMachine(t, 2)
+	if m.Time() != 0 {
+		t.Errorf("initial time = %d", m.Time())
+	}
+	if _, err := m.Spawn(0, &scriptProgram{name: "s", mapLen: vm.PageSize, ops: []Op{{Kind: OpCompute, Cycles: 500}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(1 << 30); !errors.Is(err, ErrAllDone) {
+		t.Fatal(err)
+	}
+	if m.Time() != 500 {
+		t.Errorf("final time = %d, want 500", m.Time())
+	}
+}
+
+func TestProcTimeAndLastLatency(t *testing.T) {
+	m := newMachine(t, 1)
+	p, err := m.Spawn(0, &loopProgram{name: "loop", stride: 1 << 13, n: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Time() != 0 {
+		t.Errorf("initial Time = %d", p.Time())
+	}
+	if err := m.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.Time() != m.Cores[0].Now {
+		t.Errorf("Time = %d, core clock = %d", p.Time(), m.Cores[0].Now)
+	}
+	// DRAM-bound loop: the last access latency must look like a miss.
+	if p.LastLatency < 50 {
+		t.Errorf("LastLatency = %d, want a DRAM-ish latency", p.LastLatency)
+	}
+}
+
+// TestMachineDeterminism: identical configuration and programs produce
+// identical counters — the foundation of every experiment in the repo.
+func TestMachineDeterminism(t *testing.T) {
+	run := func() (sim.Cycles, uint64) {
+		m := newMachine(t, 2)
+		if _, err := m.Spawn(0, &loopProgram{name: "a", stride: 1 << 13, n: 2048}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Spawn(1, &loopProgram{name: "b", stride: 64, n: 128}); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(5_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return m.Cores[0].Now, m.Mem.DRAM.Stats().Activations
+	}
+	t1, a1 := run()
+	t2, a2 := run()
+	if t1 != t2 || a1 != a2 {
+		t.Errorf("nondeterminism: (%d,%d) vs (%d,%d)", t1, a1, t2, a2)
+	}
+}

@@ -1,0 +1,138 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSpawnSharedRoundRobin(t *testing.T) {
+	m := newMachine(t, 1)
+	m.Sched = SchedParams{Quantum: 50_000, ContextSwitchCost: 1000}
+	a := &loopProgram{name: "a", stride: 64, n: 4}
+	b := &loopProgram{name: "b", stride: 64, n: 4}
+	pa, err := m.SpawnShared(0, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := m.SpawnShared(0, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.ID == pb.ID {
+		t.Fatal("shared tasks share a PID")
+	}
+	if err := m.Run(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	// Both programs must have run a similar amount.
+	if a.i == 0 || b.i == 0 {
+		t.Fatalf("starvation: a=%d b=%d", a.i, b.i)
+	}
+	ratio := float64(a.i) / float64(b.i)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("unfair slicing: a=%d b=%d", a.i, b.i)
+	}
+	if m.Cores[0].Stats.ContextSwitches == 0 {
+		t.Error("no context switches recorded")
+	}
+}
+
+func TestSpawnSharedCompletion(t *testing.T) {
+	m := newMachine(t, 1)
+	m.Sched = SchedParams{Quantum: 10_000, ContextSwitchCost: 500}
+	short := &scriptProgram{name: "short", mapLen: 4096, ops: []Op{{Kind: OpCompute, Cycles: 100}}}
+	long := &scriptProgram{name: "long", mapVA: 0x100000, mapLen: 4096}
+	for i := 0; i < 50; i++ {
+		long.ops = append(long.ops, Op{Kind: OpCompute, Cycles: 5000})
+	}
+	if _, err := m.SpawnShared(0, short); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SpawnShared(0, long); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(1 << 40); !errors.Is(err, ErrAllDone) {
+		t.Fatalf("Run = %v", err)
+	}
+	if short.idx != len(short.ops) || long.idx != len(long.ops) {
+		t.Errorf("tasks incomplete: short %d/%d, long %d/%d",
+			short.idx, len(short.ops), long.idx, len(long.ops))
+	}
+	if m.Cores[0].TaskErr(0) != nil || m.Cores[0].TaskErr(1) != nil {
+		t.Error("task errors recorded for clean completion")
+	}
+	if m.Cores[0].TaskErr(99) != nil {
+		t.Error("out-of-range TaskErr non-nil")
+	}
+}
+
+func TestSpawnSharedFaultAborts(t *testing.T) {
+	m := newMachine(t, 1)
+	bad := &scriptProgram{name: "bad", mapLen: 4096, ops: []Op{{Kind: OpLoad, VA: 1 << 40}}}
+	ok := &loopProgram{name: "ok", stride: 64, n: 4}
+	if _, err := m.SpawnShared(0, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SpawnShared(0, ok); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Run(1 << 40)
+	if err == nil || errors.Is(err, ErrAllDone) {
+		t.Fatalf("Run = %v, want fault", err)
+	}
+	if m.Cores[0].TaskErr(0) == nil {
+		t.Error("faulting task has no recorded error")
+	}
+}
+
+func TestSpawnSharedSingleTaskBehavesLikeSpawn(t *testing.T) {
+	m := newMachine(t, 1)
+	p := &scriptProgram{name: "solo", mapLen: 4096, ops: []Op{
+		{Kind: OpCompute, Cycles: 100}, {Kind: OpLoad, VA: 8},
+	}}
+	if _, err := m.SpawnShared(0, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(1 << 40); !errors.Is(err, ErrAllDone) {
+		t.Fatal(err)
+	}
+	if m.Cores[0].Stats.Ops != 3 { // 2 ops + OpDone
+		t.Errorf("ops = %d", m.Cores[0].Stats.Ops)
+	}
+}
+
+func TestSpawnSharedRejectsBadCore(t *testing.T) {
+	m := newMachine(t, 1)
+	if _, err := m.SpawnShared(7, &loopProgram{name: "x", stride: 64, n: 4}); err == nil {
+		t.Error("bad core accepted")
+	}
+}
+
+func TestQuantumDefaults(t *testing.T) {
+	m := newMachine(t, 1)
+	m.Sched.Quantum = 0
+	if q := m.quantum(); q != DefaultSchedParams().Quantum {
+		t.Errorf("default quantum = %d", q)
+	}
+	if DefaultSchedParams().Quantum != sim.Cycles(2_600_000) {
+		t.Error("default quantum is not 1ms at 2.6GHz")
+	}
+}
+
+func TestSharedProcTimeTracksCore(t *testing.T) {
+	m := newMachine(t, 1)
+	m.Sched = SchedParams{Quantum: 20_000, ContextSwitchCost: 100}
+	a := &loopProgram{name: "a", stride: 64, n: 4}
+	b := &loopProgram{name: "b", stride: 64, n: 4}
+	pa, _ := m.SpawnShared(0, a)
+	pb, _ := m.SpawnShared(0, b)
+	if err := m.Run(500_000); err != nil {
+		t.Fatal(err)
+	}
+	// Both procs read the same core clock.
+	if pa.Time() != pb.Time() || pa.Time() != m.Cores[0].Now {
+		t.Errorf("proc clocks diverge: %d %d core %d", pa.Time(), pb.Time(), m.Cores[0].Now)
+	}
+}

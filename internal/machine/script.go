@@ -1,0 +1,130 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Script adapts imperative code to the pull-based Program interface: the
+// body runs in its own goroutine and each memory operation blocks until the
+// machine has executed it, returning the observed latency. This is how
+// timing-driven attacker logic (eviction-set discovery by measurement,
+// covert-channel clocking) is written naturally:
+//
+//	prog := machine.NewScript("probe", func(ctx *machine.ScriptCtx) error {
+//	    if err := ctx.Map(base, 1<<20); err != nil { return err }
+//	    lat := ctx.Load(base)       // measured cycles, like rdtsc deltas
+//	    ...
+//	})
+//
+// The handoff between the machine and the script goroutine is fully
+// synchronous, so simulations remain deterministic. The goroutine exits
+// when the body returns; if the machine is abandoned mid-script the
+// goroutine parks forever on an unbuffered channel, which Go's runtime
+// collects with the channel — acceptable for simulation lifetimes.
+type Script struct {
+	name string
+	body func(ctx *ScriptCtx) error
+
+	ctx     *ScriptCtx
+	started bool
+	done    bool
+	err     error
+}
+
+// ScriptCtx is the script body's handle on the machine.
+type ScriptCtx struct {
+	proc *Proc
+
+	ops     chan Op
+	results chan sim.Cycles
+}
+
+// NewScript builds a Script program around body.
+func NewScript(name string, body func(ctx *ScriptCtx) error) *Script {
+	if name == "" {
+		name = "script"
+	}
+	return &Script{name: name, body: body}
+}
+
+// Name implements Program.
+func (s *Script) Name() string { return s.name }
+
+// Err returns the script body's error after it finishes.
+func (s *Script) Err() error { return s.err }
+
+// Init implements Program.
+func (s *Script) Init(p *Proc) error {
+	if s.body == nil {
+		return fmt.Errorf("machine: script %q has no body", s.name)
+	}
+	s.ctx = &ScriptCtx{
+		proc:    p,
+		ops:     make(chan Op),
+		results: make(chan sim.Cycles),
+	}
+	return nil
+}
+
+// Next implements Program: resume the script goroutine until it emits the
+// next operation.
+func (s *Script) Next() Op {
+	if s.done {
+		return Op{Kind: OpDone}
+	}
+	if !s.started {
+		s.started = true
+		go func() {
+			s.err = s.body(s.ctx)
+			close(s.ctx.ops)
+		}()
+	} else {
+		// Deliver the previous operation's latency, resuming the body.
+		s.ctx.results <- s.ctx.proc.LastLatency
+	}
+	op, ok := <-s.ctx.ops
+	if !ok {
+		s.done = true
+		return Op{Kind: OpDone}
+	}
+	return op
+}
+
+// do submits one operation and blocks until the machine executed it.
+func (c *ScriptCtx) do(op Op) sim.Cycles {
+	c.ops <- op
+	return <-c.results
+}
+
+// Load reads va and returns the observed latency.
+func (c *ScriptCtx) Load(va uint64) sim.Cycles {
+	return c.do(Op{Kind: OpLoad, VA: va})
+}
+
+// Store writes va and returns the observed latency.
+func (c *ScriptCtx) Store(va uint64) sim.Cycles {
+	return c.do(Op{Kind: OpStore, VA: va})
+}
+
+// Flush executes CLFLUSH on va.
+func (c *ScriptCtx) Flush(va uint64) {
+	c.do(Op{Kind: OpFlush, VA: va})
+}
+
+// Compute burns n cycles.
+func (c *ScriptCtx) Compute(n sim.Cycles) {
+	c.do(Op{Kind: OpCompute, Cycles: n})
+}
+
+// Time returns the core's current cycle count (RDTSC).
+func (c *ScriptCtx) Time() sim.Cycles { return c.proc.Time() }
+
+// Proc exposes the process context (address space, pagemap).
+func (c *ScriptCtx) Proc() *Proc { return c.proc }
+
+// Map allocates backing for [va, va+bytes).
+func (c *ScriptCtx) Map(va, bytes uint64) error { return c.proc.AS.Map(va, bytes) }
+
+var _ Program = (*Script)(nil)

@@ -1,0 +1,123 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+func TestScriptRunsToCompletion(t *testing.T) {
+	m := newMachine(t, 1)
+	var coldLat, warmLat sim.Cycles
+	s := NewScript("probe", func(ctx *ScriptCtx) error {
+		if err := ctx.Map(0x10000, vm.PageSize); err != nil {
+			return err
+		}
+		coldLat = ctx.Load(0x10000)
+		warmLat = ctx.Load(0x10000)
+		ctx.Compute(500)
+		ctx.Store(0x10040)
+		ctx.Flush(0x10000)
+		return nil
+	})
+	if _, err := m.Spawn(0, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(1 << 40); !errors.Is(err, ErrAllDone) {
+		t.Fatal(err)
+	}
+	if s.Err() != nil {
+		t.Fatalf("script error: %v", s.Err())
+	}
+	if coldLat < 100 {
+		t.Errorf("cold load latency %d, want DRAM-scale", coldLat)
+	}
+	if warmLat >= coldLat {
+		t.Errorf("warm load (%d) not faster than cold (%d)", warmLat, coldLat)
+	}
+	st := m.Cores[0].Stats
+	if st.Loads != 2 || st.Stores != 1 || st.Flushes != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.ComputeCycles != 500 {
+		t.Errorf("compute = %d", st.ComputeCycles)
+	}
+}
+
+func TestScriptErrorPropagates(t *testing.T) {
+	m := newMachine(t, 1)
+	boom := errors.New("boom")
+	s := NewScript("failing", func(ctx *ScriptCtx) error {
+		ctx.Compute(10)
+		return boom
+	})
+	if _, err := m.Spawn(0, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(1 << 40); !errors.Is(err, ErrAllDone) {
+		t.Fatal(err)
+	}
+	if !errors.Is(s.Err(), boom) {
+		t.Errorf("script error = %v", s.Err())
+	}
+}
+
+func TestScriptTimeAdvances(t *testing.T) {
+	m := newMachine(t, 1)
+	var t0, t1 sim.Cycles
+	s := NewScript("clock", func(ctx *ScriptCtx) error {
+		t0 = ctx.Time()
+		ctx.Compute(1000)
+		t1 = ctx.Time()
+		return nil
+	})
+	if _, err := m.Spawn(0, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(1 << 40); !errors.Is(err, ErrAllDone) {
+		t.Fatal(err)
+	}
+	if t1-t0 != 1000 {
+		t.Errorf("rdtsc delta = %d, want 1000", t1-t0)
+	}
+}
+
+func TestScriptWithoutBodyFailsInit(t *testing.T) {
+	m := newMachine(t, 1)
+	if _, err := m.Spawn(0, NewScript("empty", nil)); err == nil {
+		t.Error("nil-body script accepted")
+	}
+}
+
+func TestScriptInterleavesWithOtherCores(t *testing.T) {
+	m := newMachine(t, 2)
+	s := NewScript("walker", func(ctx *ScriptCtx) error {
+		if err := ctx.Map(0, 1<<20); err != nil {
+			return err
+		}
+		for i := 0; i < 1000; i++ {
+			ctx.Load(uint64(i%256) * 4096)
+		}
+		return nil
+	})
+	if _, err := m.Spawn(0, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Spawn(1, &loopProgram{name: "bg", stride: 64, n: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(3_000_000); err != nil && !errors.Is(err, ErrAllDone) {
+		t.Fatal(err)
+	}
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+	if m.Cores[0].Stats.Loads != 1000 {
+		t.Errorf("script loads = %d", m.Cores[0].Stats.Loads)
+	}
+	if m.Cores[1].Stats.Ops == 0 {
+		t.Error("background core starved")
+	}
+}

@@ -1,0 +1,100 @@
+// Package memsys assembles the memory system: the cache hierarchy in front
+// of the DRAM module, with every program access reported to the PMU. It is
+// the seam where the detector's observation points (performance counters)
+// and the attack's target (DRAM disturbance) meet.
+package memsys
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/dram"
+	"repro/internal/pmu"
+	"repro/internal/sim"
+)
+
+// Config assembles a System.
+type Config struct {
+	DRAM      dram.Config
+	Cache     cache.HierarchyConfig
+	PMUSeed   uint64
+	PMUBuffer int
+}
+
+// DefaultConfig is the paper's machine: Sandy Bridge caches over the 4 GB
+// DDR3 module.
+func DefaultConfig(f sim.Freq) Config {
+	return Config{
+		DRAM:    dram.DefaultConfig(f),
+		Cache:   cache.SandyBridgeConfig(),
+		PMUSeed: 0x9ebc,
+	}
+}
+
+// System is the assembled memory system.
+type System struct {
+	DRAM   *dram.Module
+	Caches *cache.Hierarchy
+	PMU    *pmu.PMU
+}
+
+// dramBackend adapts the DRAM module to the cache.Memory interface.
+type dramBackend struct {
+	m *dram.Module
+}
+
+func (b dramBackend) Access(pa uint64, write bool, now sim.Cycles) sim.Cycles {
+	return b.m.Access(pa, write, now).Latency
+}
+
+// New builds the memory system.
+func New(cfg Config) (*System, error) {
+	mod, err := dram.New(cfg.DRAM)
+	if err != nil {
+		return nil, fmt.Errorf("memsys: %w", err)
+	}
+	h, err := cache.NewHierarchy(cfg.Cache, dramBackend{mod})
+	if err != nil {
+		return nil, fmt.Errorf("memsys: %w", err)
+	}
+	return &System{
+		DRAM:   mod,
+		Caches: h,
+		PMU:    pmu.New(cfg.PMUSeed, cfg.PMUBuffer),
+	}, nil
+}
+
+// Access performs one program load or store: through the caches, possibly
+// to DRAM, observed by the PMU. va is carried for the PEBS record; pa
+// drives placement.
+func (s *System) Access(va, pa uint64, write bool, task, core int, now sim.Cycles) cache.Result {
+	res := s.Caches.Access(pa, write, now)
+	s.PMU.Observe(pmu.Access{
+		VA:      va,
+		PA:      pa,
+		Write:   write,
+		Latency: res.Latency,
+		Source:  res.Source,
+		LLCMiss: res.LLCMiss,
+		Task:    task,
+		Core:    core,
+		Now:     now,
+	})
+	return res
+}
+
+// Flush performs CLFLUSH of pa, returning the latency charged to the core.
+func (s *System) Flush(pa uint64, now sim.Cycles) sim.Cycles {
+	lat, _ := s.Caches.Flush(pa, now)
+	return lat
+}
+
+// KernelRead issues an uncached read of pa directly to DRAM — the selective
+// refresh primitive. (ANVIL's kernel module reads a word from the victim
+// row; going through the caches would defeat the refresh on a hit, so the
+// kernel uses an uncached access.) The PMU does not observe it: the
+// detector filters its own kernel-thread accesses. The DRAM access latency
+// is returned so the caller can charge it to the executing core.
+func (s *System) KernelRead(pa uint64, now sim.Cycles) sim.Cycles {
+	return s.DRAM.Access(pa, false, now).Latency
+}

@@ -1,0 +1,112 @@
+package memsys
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/dram"
+	"repro/internal/pmu"
+	"repro/internal/sim"
+)
+
+func newSystem(t *testing.T) *System {
+	t.Helper()
+	s, err := New(DefaultConfig(sim.DefaultFreq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidatesSubConfigs(t *testing.T) {
+	cfg := DefaultConfig(sim.DefaultFreq)
+	cfg.DRAM.Geometry.Ranks = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("bad DRAM config accepted")
+	}
+	cfg = DefaultConfig(sim.DefaultFreq)
+	cfg.Cache.Levels = nil
+	if _, err := New(cfg); err == nil {
+		t.Error("bad cache config accepted")
+	}
+}
+
+func TestAccessFeedsPMUAndDRAM(t *testing.T) {
+	s := newSystem(t)
+	res := s.Access(0xABC0, 0xABC0, false, 7, 1, 100)
+	if res.Source != cache.SrcDRAM || !res.LLCMiss {
+		t.Fatalf("cold access: %+v", res)
+	}
+	if got := s.PMU.Read(pmu.EvLLCMiss); got != 1 {
+		t.Errorf("PMU misses = %d", got)
+	}
+	if s.DRAM.Stats().Reads != 1 {
+		t.Errorf("DRAM reads = %d", s.DRAM.Stats().Reads)
+	}
+	// Second access hits the cache: no new DRAM traffic.
+	res = s.Access(0xABC0, 0xABC0, false, 7, 1, 200)
+	if res.LLCMiss {
+		t.Error("warm access missed")
+	}
+	if s.DRAM.Stats().Reads != 1 {
+		t.Error("warm access reached DRAM")
+	}
+}
+
+func TestPMURecordsTaskAndCore(t *testing.T) {
+	s := newSystem(t)
+	s.PMU.ConfigureLoadSampler(pmu.SamplerConfig{Enabled: true, LatencyThreshold: 0, Interval: 1}, 0)
+	s.Access(0x1234, 0x1234, false, 42, 3, 10)
+	samples := s.PMU.Samples()
+	if len(samples) != 1 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	if samples[0].Task != 42 || samples[0].Core != 3 || samples[0].VA != 0x1234 {
+		t.Errorf("sample = %+v", samples[0])
+	}
+}
+
+func TestFlushForcesNextAccessToDRAM(t *testing.T) {
+	s := newSystem(t)
+	s.Access(0x4000, 0x4000, false, 1, 0, 0)
+	if lat := s.Flush(0x4000, 10); lat == 0 {
+		t.Error("flush has zero latency")
+	}
+	res := s.Access(0x4000, 0x4000, false, 1, 0, 20)
+	if res.Source != cache.SrcDRAM {
+		t.Errorf("post-flush source = %v", res.Source)
+	}
+}
+
+func TestKernelReadBypassesCachesAndPMU(t *testing.T) {
+	s := newSystem(t)
+	pa := s.DRAM.Mapper().Unmap(dram.Coord{Bank: 2, Row: 99, Col: 0})
+	lat := s.KernelRead(pa, 100)
+	if lat == 0 {
+		t.Error("kernel read has zero latency")
+	}
+	// Not cached: a repeat also reaches DRAM (row hit now).
+	before := s.DRAM.Stats().Reads
+	s.KernelRead(pa, 200)
+	if s.DRAM.Stats().Reads != before+1 {
+		t.Error("kernel read did not reach DRAM")
+	}
+	// Not observed by the PMU.
+	if s.PMU.Read(pmu.EvLLCMiss) != 0 {
+		t.Error("kernel read counted as an LLC miss")
+	}
+	// And it activates the row (the selective-refresh property).
+	if s.DRAM.OpenRow(2) != 99 {
+		t.Errorf("row not opened by kernel read: %d", s.DRAM.OpenRow(2))
+	}
+}
+
+func TestWritebacksReachDRAMAsWrites(t *testing.T) {
+	s := newSystem(t)
+	// Dirty a line, then flush it: the writeback is a DRAM write.
+	s.Access(0x8000, 0x8000, true, 1, 0, 0)
+	s.Flush(0x8000, 10)
+	if w := s.DRAM.Stats().Writes; w != 1 {
+		t.Errorf("DRAM writes = %d, want 1", w)
+	}
+}

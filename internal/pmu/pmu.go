@@ -1,0 +1,250 @@
+// Package pmu simulates the hardware performance-monitoring facilities that
+// ANVIL is built on (paper §3.3):
+//
+//   - event counters, including LONGEST_LAT_CACHE.MISS and
+//     MEM_LOAD_UOPS_MISC_RETIRED.LLC_MISS, with an overflow interrupt that
+//     fires after a programmable number of events;
+//   - the PEBS Load Latency facility: probabilistic sampling of retired
+//     loads whose latency exceeds a programmable threshold, recording the
+//     load's virtual address, data source and latency;
+//   - the Precise Store facility: the analogous sampler for stores.
+//
+// The memory system feeds every program access into Observe; detectors read
+// counters, arm overflow interrupts, and drain sample buffers.
+package pmu
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+)
+
+// Event identifies a hardware event counter.
+type Event int
+
+// The counted events. Names follow the Intel events the paper uses.
+const (
+	// EvLLCMiss is LONGEST_LAT_CACHE.MISS: every last-level cache miss.
+	EvLLCMiss Event = iota
+	// EvLLCMissLoads is MEM_LOAD_UOPS_MISC_RETIRED.LLC_MISS: retired load
+	// operations that missed the last-level cache.
+	EvLLCMissLoads
+	// EvLoads counts retired loads.
+	EvLoads
+	// EvStores counts retired stores.
+	EvStores
+	// EvLLCReference counts LLC lookups (hits + misses).
+	EvLLCReference
+	numEvents
+)
+
+func (e Event) String() string {
+	switch e {
+	case EvLLCMiss:
+		return "LONGEST_LAT_CACHE.MISS"
+	case EvLLCMissLoads:
+		return "MEM_LOAD_UOPS_MISC_RETIRED.LLC_MISS"
+	case EvLoads:
+		return "MEM_TRANS_RETIRED.LOADS"
+	case EvStores:
+		return "MEM_TRANS_RETIRED.STORES"
+	case EvLLCReference:
+		return "LONGEST_LAT_CACHE.REFERENCE"
+	default:
+		return fmt.Sprintf("Event(%d)", int(e))
+	}
+}
+
+// Access describes one memory operation as seen by the monitoring hardware.
+type Access struct {
+	VA      uint64
+	PA      uint64
+	Write   bool
+	Latency sim.Cycles
+	Source  cache.DataSource
+	LLCMiss bool
+	Task    int // owning task id (for the task_struct sampled alongside)
+	Core    int
+	Now     sim.Cycles
+}
+
+// Sample is one PEBS record.
+type Sample struct {
+	VA      uint64
+	Latency sim.Cycles
+	Source  cache.DataSource
+	Write   bool
+	Task    int
+	Core    int
+	Time    sim.Cycles
+}
+
+// SamplerConfig programs one PEBS facility.
+type SamplerConfig struct {
+	// Enabled arms the facility.
+	Enabled bool
+	// LatencyThreshold qualifies loads with at least this latency (the
+	// Load Latency facility's dedicated threshold register). Ignored by
+	// the store facility, whose records always carry the data source.
+	LatencyThreshold sim.Cycles
+	// Interval is the minimum simulated time between samples, i.e. the
+	// inverse of the sampling rate. The first qualifying event after each
+	// interval tick is sampled, with a deterministic +-20% jitter to avoid
+	// phase-locking onto periodic access patterns.
+	Interval sim.Cycles
+}
+
+type sampler struct {
+	cfg  SamplerConfig
+	next sim.Cycles
+	rng  *sim.Rand
+}
+
+func (s *sampler) configure(cfg SamplerConfig, now sim.Cycles) {
+	s.cfg = cfg
+	s.next = now // first qualifying event samples immediately
+}
+
+// take decides whether this event is sampled and schedules the next tick.
+func (s *sampler) take(now sim.Cycles) bool {
+	if !s.cfg.Enabled || now < s.next {
+		return false
+	}
+	iv := uint64(s.cfg.Interval)
+	if iv == 0 {
+		iv = 1
+	}
+	jitter := iv / 5
+	next := iv - jitter
+	if jitter > 0 {
+		next += s.rng.Uint64n(2*jitter + 1)
+	}
+	s.next = now + sim.Cycles(next)
+	return true
+}
+
+// Overflow configures a counter-overflow interrupt.
+type overflow struct {
+	armed  bool
+	target uint64
+	fn     func(now sim.Cycles)
+}
+
+// PMU is the performance monitoring unit shared by the machine (counters
+// model the uncore LLC events; samples carry core/task provenance).
+type PMU struct {
+	counts   [numEvents]uint64
+	over     [numEvents]overflow
+	loads    sampler
+	stores   sampler
+	buf      []Sample
+	capacity int
+	dropped  uint64
+	onSample func(s Sample) // PMI hook: detectors charge per-sample cost here
+}
+
+// New creates a PMU. bufferCap bounds the PEBS buffer (a full buffer drops
+// further records, as real debug-store areas do between drains).
+func New(seed uint64, bufferCap int) *PMU {
+	if bufferCap <= 0 {
+		bufferCap = 4096
+	}
+	p := &PMU{capacity: bufferCap}
+	rng := sim.NewRand(seed)
+	p.loads.rng = rng.Split()
+	p.stores.rng = rng.Split()
+	return p
+}
+
+// Read returns the current value of an event counter.
+func (p *PMU) Read(e Event) uint64 { return p.counts[e] }
+
+// Reset zeroes an event counter.
+func (p *PMU) Reset(e Event) { p.counts[e] = 0 }
+
+// ArmOverflow fires fn once when the counter for e has advanced by n more
+// events. Re-arm from inside fn for periodic interrupts.
+func (p *PMU) ArmOverflow(e Event, n uint64, fn func(now sim.Cycles)) {
+	p.over[e] = overflow{armed: true, target: p.counts[e] + n, fn: fn}
+}
+
+// DisarmOverflow cancels a pending overflow interrupt.
+func (p *PMU) DisarmOverflow(e Event) { p.over[e].armed = false }
+
+// ConfigureLoadSampler programs the Load Latency facility.
+func (p *PMU) ConfigureLoadSampler(cfg SamplerConfig, now sim.Cycles) {
+	p.loads.configure(cfg, now)
+}
+
+// ConfigureStoreSampler programs the Precise Store facility.
+func (p *PMU) ConfigureStoreSampler(cfg SamplerConfig, now sim.Cycles) {
+	p.stores.configure(cfg, now)
+}
+
+// OnSample registers the PMI handler invoked for every sample taken
+// (used by detectors to model per-sample interrupt cost).
+func (p *PMU) OnSample(fn func(s Sample)) { p.onSample = fn }
+
+// Samples drains and returns the PEBS buffer.
+func (p *PMU) Samples() []Sample {
+	out := p.buf
+	p.buf = nil
+	return out
+}
+
+// Dropped reports how many samples were lost to a full buffer.
+func (p *PMU) Dropped() uint64 { return p.dropped }
+
+func (p *PMU) bump(e Event, now sim.Cycles) {
+	p.counts[e]++
+	o := &p.over[e]
+	if o.armed && p.counts[e] >= o.target {
+		o.armed = false
+		o.fn(now)
+	}
+}
+
+// Observe feeds one memory access into the PMU. The memory system calls it
+// for every program load and store.
+func (p *PMU) Observe(a Access) {
+	if a.Write {
+		p.bump(EvStores, a.Now)
+	} else {
+		p.bump(EvLoads, a.Now)
+	}
+	p.bump(EvLLCReference, a.Now)
+	if a.LLCMiss {
+		p.bump(EvLLCMiss, a.Now)
+		if !a.Write {
+			p.bump(EvLLCMissLoads, a.Now)
+		}
+	}
+
+	var take bool
+	if a.Write {
+		take = p.stores.take(a.Now)
+	} else if a.Latency >= p.loads.cfg.LatencyThreshold {
+		take = p.loads.take(a.Now)
+	}
+	if !take {
+		return
+	}
+	s := Sample{
+		VA:      a.VA,
+		Latency: a.Latency,
+		Source:  a.Source,
+		Write:   a.Write,
+		Task:    a.Task,
+		Core:    a.Core,
+		Time:    a.Now,
+	}
+	if len(p.buf) >= p.capacity {
+		p.dropped++
+		return
+	}
+	p.buf = append(p.buf, s)
+	if p.onSample != nil {
+		p.onSample(s)
+	}
+}

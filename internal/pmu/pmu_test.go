@@ -1,0 +1,215 @@
+package pmu
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+)
+
+func load(va uint64, lat sim.Cycles, miss bool, now sim.Cycles) Access {
+	src := cache.SrcL1
+	if miss {
+		src = cache.SrcDRAM
+	}
+	return Access{VA: va, PA: va, Latency: lat, Source: src, LLCMiss: miss, Now: now}
+}
+
+func store(va uint64, miss bool, now sim.Cycles) Access {
+	a := load(va, 100, miss, now)
+	a.Write = true
+	return a
+}
+
+func TestCountersBasic(t *testing.T) {
+	p := New(1, 0)
+	p.Observe(load(0, 200, true, 10))
+	p.Observe(load(0, 4, false, 20))
+	p.Observe(store(0, true, 30))
+	if got := p.Read(EvLLCMiss); got != 2 {
+		t.Errorf("LLC misses = %d, want 2", got)
+	}
+	if got := p.Read(EvLLCMissLoads); got != 1 {
+		t.Errorf("LLC miss loads = %d, want 1 (stores excluded)", got)
+	}
+	if p.Read(EvLoads) != 2 || p.Read(EvStores) != 1 {
+		t.Errorf("loads/stores = %d/%d", p.Read(EvLoads), p.Read(EvStores))
+	}
+	if p.Read(EvLLCReference) != 3 {
+		t.Errorf("references = %d", p.Read(EvLLCReference))
+	}
+	p.Reset(EvLLCMiss)
+	if p.Read(EvLLCMiss) != 0 {
+		t.Error("reset did not zero")
+	}
+}
+
+func TestOverflowInterrupt(t *testing.T) {
+	p := New(1, 0)
+	fired := sim.Cycles(0)
+	count := 0
+	p.ArmOverflow(EvLLCMiss, 3, func(now sim.Cycles) {
+		fired = now
+		count++
+	})
+	for i := 0; i < 10; i++ {
+		p.Observe(load(0, 200, true, sim.Cycles(100*(i+1))))
+	}
+	if count != 1 {
+		t.Fatalf("overflow fired %d times, want exactly 1 (one-shot)", count)
+	}
+	if fired != 300 {
+		t.Errorf("overflow at %d, want 300 (third miss)", fired)
+	}
+}
+
+func TestOverflowRearmFromHandler(t *testing.T) {
+	p := New(1, 0)
+	var fires []sim.Cycles
+	var rearm func(now sim.Cycles)
+	rearm = func(now sim.Cycles) {
+		fires = append(fires, now)
+		p.ArmOverflow(EvLLCMiss, 2, rearm)
+	}
+	p.ArmOverflow(EvLLCMiss, 2, rearm)
+	for i := 1; i <= 8; i++ {
+		p.Observe(load(0, 200, true, sim.Cycles(i)))
+	}
+	if len(fires) != 4 {
+		t.Errorf("periodic overflow fired %d times, want 4: %v", len(fires), fires)
+	}
+}
+
+func TestDisarmOverflow(t *testing.T) {
+	p := New(1, 0)
+	p.ArmOverflow(EvLLCMiss, 1, func(now sim.Cycles) { t.Error("disarmed overflow fired") })
+	p.DisarmOverflow(EvLLCMiss)
+	p.Observe(load(0, 200, true, 1))
+}
+
+func TestLoadSamplerLatencyThreshold(t *testing.T) {
+	p := New(1, 0)
+	p.ConfigureLoadSampler(SamplerConfig{Enabled: true, LatencyThreshold: 150, Interval: 1}, 0)
+	p.Observe(load(0xAAA, 200, true, 10)) // qualifies
+	p.Observe(load(0xBBB, 30, false, 20)) // below threshold
+	p.Observe(load(0xCCC, 400, true, 30)) // qualifies
+	got := p.Samples()
+	if len(got) != 2 {
+		t.Fatalf("samples = %d, want 2", len(got))
+	}
+	if got[0].VA != 0xAAA || got[1].VA != 0xCCC {
+		t.Errorf("sampled VAs %#x %#x", got[0].VA, got[1].VA)
+	}
+	if got[0].Source != cache.SrcDRAM {
+		t.Errorf("data source = %v, want DRAM", got[0].Source)
+	}
+}
+
+func TestStoreSamplerIgnoresLatency(t *testing.T) {
+	p := New(1, 0)
+	p.ConfigureStoreSampler(SamplerConfig{Enabled: true, Interval: 1}, 0)
+	p.Observe(store(0x111, false, 10))
+	p.Observe(load(0x222, 500, true, 20)) // load sampler disabled
+	got := p.Samples()
+	if len(got) != 1 || !got[0].Write || got[0].VA != 0x111 {
+		t.Fatalf("samples = %+v", got)
+	}
+}
+
+func TestSamplingRateHonoursInterval(t *testing.T) {
+	f := sim.DefaultFreq
+	p := New(7, 1<<20)
+	// 5000 samples/sec: the ANVIL configuration.
+	interval := sim.Cycles(f.Hz() / 5000)
+	p.ConfigureLoadSampler(SamplerConfig{Enabled: true, LatencyThreshold: 100, Interval: interval}, 0)
+	// Qualifying loads every 500 cycles for 100 simulated ms.
+	end := f.Cycles(100 * time.Millisecond)
+	for now := sim.Cycles(0); now < end; now += 500 {
+		p.Observe(load(uint64(now), 200, true, now))
+	}
+	n := len(p.Samples())
+	// Expect ~500 samples in 100 ms at 5000/s.
+	if n < 400 || n > 600 {
+		t.Errorf("samples in 100ms = %d, want ~500", n)
+	}
+}
+
+func TestSamplerJitterAvoidsPhaseLock(t *testing.T) {
+	p := New(3, 1<<20)
+	p.ConfigureLoadSampler(SamplerConfig{Enabled: true, LatencyThreshold: 0, Interval: 1000}, 0)
+	// Accesses at two alternating addresses with a period that divides the
+	// interval: without jitter we would sample only one of them.
+	for i := 0; i < 4000; i++ {
+		p.Observe(load(uint64(i%2), 10, false, sim.Cycles(i*500)))
+	}
+	seen := map[uint64]int{}
+	for _, s := range p.Samples() {
+		seen[s.VA]++
+	}
+	if len(seen) != 2 {
+		t.Errorf("phase-locked sampling: only VAs %v sampled", seen)
+	}
+}
+
+func TestBufferCapacityDrops(t *testing.T) {
+	p := New(1, 4)
+	p.ConfigureLoadSampler(SamplerConfig{Enabled: true, LatencyThreshold: 0, Interval: 1}, 0)
+	for i := 0; i < 10; i++ {
+		p.Observe(load(uint64(i), 10, false, sim.Cycles(i*10)))
+	}
+	if n := len(p.Samples()); n != 4 {
+		t.Errorf("buffered samples = %d, want 4", n)
+	}
+	if p.Dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", p.Dropped())
+	}
+	// Drain resets the buffer.
+	p.Observe(load(99, 10, false, 1000))
+	if n := len(p.Samples()); n != 1 {
+		t.Errorf("post-drain samples = %d, want 1", n)
+	}
+}
+
+func TestOnSampleHook(t *testing.T) {
+	p := New(1, 0)
+	var hooked []Sample
+	p.OnSample(func(s Sample) { hooked = append(hooked, s) })
+	p.ConfigureLoadSampler(SamplerConfig{Enabled: true, LatencyThreshold: 0, Interval: 1}, 0)
+	p.Observe(load(0x42, 10, false, 5))
+	if len(hooked) != 1 || hooked[0].VA != 0x42 {
+		t.Errorf("hook saw %+v", hooked)
+	}
+}
+
+func TestDisabledSamplersTakeNothing(t *testing.T) {
+	p := New(1, 0)
+	p.Observe(load(1, 1000, true, 10))
+	p.Observe(store(2, true, 20))
+	if n := len(p.Samples()); n != 0 {
+		t.Errorf("disabled samplers recorded %d samples", n)
+	}
+}
+
+func TestSamplerDisableStopsSampling(t *testing.T) {
+	p := New(1, 0)
+	p.ConfigureLoadSampler(SamplerConfig{Enabled: true, LatencyThreshold: 0, Interval: 1}, 0)
+	p.Observe(load(1, 10, false, 10))
+	p.ConfigureLoadSampler(SamplerConfig{}, 20)
+	p.Observe(load(2, 10, false, 30))
+	got := p.Samples()
+	if len(got) != 1 || got[0].VA != 1 {
+		t.Errorf("samples after disable = %+v", got)
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	for _, e := range []Event{EvLLCMiss, EvLLCMissLoads, EvLoads, EvStores, EvLLCReference} {
+		if e.String() == "" {
+			t.Errorf("event %d has empty name", int(e))
+		}
+	}
+	if Event(99).String() != "Event(99)" {
+		t.Error("unknown event string")
+	}
+}

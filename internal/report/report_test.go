@@ -1,0 +1,95 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := New("Title", "name", "value")
+	tb.Add("alpha", 3.14159)
+	tb.Add("a-much-longer-name", 42)
+	tb.AddStrings("raw", "cell")
+	out := tb.String()
+
+	if !strings.HasPrefix(out, "Title\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, header, rule, 3 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Errorf("header wrong: %q", lines[1])
+	}
+	if !strings.Contains(out, "3.14") {
+		t.Error("float not formatted to 2 decimals")
+	}
+	// Columns align: the "value" column starts at the same offset in the
+	// header and every row.
+	off := strings.Index(lines[1], "value")
+	if !strings.HasPrefix(lines[3][off:], "3.14") {
+		t.Errorf("misaligned columns:\n%s", out)
+	}
+	if tb.Len() != 3 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+}
+
+func TestTableWithoutTitle(t *testing.T) {
+	tb := New("", "a")
+	tb.Add(1)
+	if strings.HasPrefix(tb.String(), "\n") {
+		t.Error("leading newline without title")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("ignored", "a", "b")
+	tb.AddStrings("x,y", "z")
+	csv := tb.CSV()
+	want := "a,b\nx;y,z\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestFloat32Formatting(t *testing.T) {
+	tb := New("", "v")
+	tb.Add(float32(1.5))
+	if !strings.Contains(tb.String(), "1.50") {
+		t.Error("float32 not formatted")
+	}
+}
+
+func TestBarsRendering(t *testing.T) {
+	b := NewBars("Chart", 1.0, 1.05, 20)
+	b.Add("short", 1.0)
+	b.Add("a-long-label", 1.05)
+	b.Add("clamped", 2.0) // above hi: full bar
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "|") {
+		t.Errorf("no bar delimiter: %q", lines[1])
+	}
+	if strings.Count(lines[2], "#") != 20 {
+		t.Errorf("max value bar not full: %q", lines[2])
+	}
+	if strings.Count(lines[3], "#") != 20 {
+		t.Errorf("clamping failed: %q", lines[3])
+	}
+	if strings.Count(lines[1], "#") != 0 {
+		t.Errorf("min value bar not empty: %q", lines[1])
+	}
+}
+
+func TestBarsDefaults(t *testing.T) {
+	b := NewBars("", 5, 5, 0) // degenerate range and width
+	b.Add("x", 5)
+	if out := b.String(); out == "" {
+		t.Error("empty render")
+	}
+}

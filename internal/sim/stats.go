@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. It returns 0 for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Correlation returns the Pearson correlation coefficient of xs and ys.
+// It returns 0 when the slices are empty, mismatched, or constant.
+func Correlation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var num, dx, dy float64
+	for i := range xs {
+		a := xs[i] - mx
+		b := ys[i] - my
+		num += a * b
+		dx += a * a
+		dy += b * b
+	}
+	if dx == 0 || dy == 0 {
+		return 0
+	}
+	return num / math.Sqrt(dx*dy)
+}
+
+// MatchFraction returns the fraction of positions where the two boolean
+// sequences agree. It is used by the replacement-policy inference harness to
+// score candidate policies against observed hit/miss traces.
+func MatchFraction(a, b []bool) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n == 0 {
+		return 0
+	}
+	match := 0
+	for i := 0; i < n; i++ {
+		if a[i] == b[i] {
+			match++
+		}
+	}
+	return float64(match) / float64(n)
+}
+
+// Histogram is a fixed-bucket histogram over float64 samples.
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []uint64
+	Under   uint64
+	Over    uint64
+	N       uint64
+	Sum     float64
+}
+
+// NewHistogram creates a histogram with n buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic(fmt.Sprintf("sim: invalid histogram [%g,%g) x%d", lo, hi, n))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]uint64, n)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	h.N++
+	h.Sum += x
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+		if i >= len(h.Buckets) {
+			i = len(h.Buckets) - 1
+		}
+		h.Buckets[i]++
+	}
+}
+
+// Mean returns the mean of all recorded samples (including out-of-range ones).
+func (h *Histogram) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.N)
+}
+
+// Counter accumulates a simple count/sum pair; handy for rates.
+type Counter struct {
+	Count uint64
+	Total float64
+}
+
+// Add records one observation.
+func (c *Counter) Add(v float64) { c.Count++; c.Total += v }
+
+// Mean returns Total/Count or 0.
+func (c *Counter) Mean() float64 {
+	if c.Count == 0 {
+		return 0
+	}
+	return c.Total / float64(c.Count)
+}

@@ -1,0 +1,102 @@
+// Package sim provides the primitive substrate shared by every component of
+// the simulator: a virtual cycle clock, deterministic random number
+// generation, and small statistics helpers.
+//
+// All time in the simulation is expressed in CPU cycles of a nominal-frequency
+// core (2.6 GHz by default, matching the i5-2540M used in the paper). Wall
+// clock quantities reported by experiments ("ms", "ns") are always *simulated*
+// time derived from cycle counts, never host time, which keeps every
+// experiment deterministic and host-independent.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Cycles is a duration or instant measured in CPU clock cycles.
+type Cycles uint64
+
+// DefaultClockHz is the nominal core frequency used throughout the
+// reproduction: 2.6 GHz, the frequency of the Intel i5-2540M in the paper.
+const DefaultClockHz = 2_600_000_000
+
+// Freq converts between cycles and wall-clock durations at a fixed frequency.
+type Freq struct {
+	hz uint64
+}
+
+// NewFreq returns a Freq for the given clock rate in Hertz.
+// It panics if hz is zero, since a zero-frequency clock cannot advance.
+func NewFreq(hz uint64) Freq {
+	if hz == 0 {
+		panic("sim: zero clock frequency")
+	}
+	return Freq{hz: hz}
+}
+
+// DefaultFreq is the 2.6 GHz clock used by all experiments.
+var DefaultFreq = NewFreq(DefaultClockHz)
+
+// Hz reports the clock rate in Hertz.
+func (f Freq) Hz() uint64 { return f.hz }
+
+// Cycles converts a wall-clock duration to cycles, rounding down.
+func (f Freq) Cycles(d time.Duration) Cycles {
+	if d <= 0 {
+		return 0
+	}
+	// cycles = d * hz / 1e9, computed carefully to avoid overflow for the
+	// durations used in practice (minutes at single-digit GHz fits in uint64).
+	ns := uint64(d.Nanoseconds())
+	whole := ns / 1_000_000_000
+	frac := ns % 1_000_000_000
+	return Cycles(whole*f.hz + frac*f.hz/1_000_000_000)
+}
+
+// Duration converts cycles to a wall-clock duration, rounding down to the
+// nearest nanosecond.
+func (f Freq) Duration(c Cycles) time.Duration {
+	whole := uint64(c) / f.hz
+	frac := uint64(c) % f.hz
+	return time.Duration(whole)*time.Second + time.Duration(frac*1_000_000_000/f.hz)
+}
+
+// Millis converts cycles to fractional milliseconds.
+func (f Freq) Millis(c Cycles) float64 {
+	return float64(c) / float64(f.hz) * 1e3
+}
+
+// Nanos converts cycles to fractional nanoseconds.
+func (f Freq) Nanos(c Cycles) float64 {
+	return float64(c) / float64(f.hz) * 1e9
+}
+
+// PerSecond converts an event count accumulated over the given number of
+// cycles into an events-per-second rate. It returns 0 when c is 0.
+func (f Freq) PerSecond(events uint64, c Cycles) float64 {
+	if c == 0 {
+		return 0
+	}
+	return float64(events) * float64(f.hz) / float64(c)
+}
+
+func (c Cycles) String() string {
+	return fmt.Sprintf("%dcyc", uint64(c))
+}
+
+// Min returns the smaller of a and b.
+func Min(a, b Cycles) Cycles {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b Cycles) Cycles {
+	if a > b {
+		return a
+	}
+	return b
+}

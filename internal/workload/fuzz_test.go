@@ -1,0 +1,38 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseTrace: the parser never panics and every successfully parsed
+// trace survives a format/parse round trip.
+func FuzzParseTrace(f *testing.F) {
+	f.Add("L 0x1000\nS 64\nC 10\nF 0x40\n")
+	f.Add("# comment\n\nL 1\n")
+	f.Add("bogus line")
+	f.Add("L 0xffffffffffffffff\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		recs, err := ParseTrace(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := FormatTrace(&buf, recs); err != nil {
+			t.Fatalf("formatting parsed records: %v", err)
+		}
+		again, err := ParseTrace(&buf)
+		if err != nil {
+			t.Fatalf("re-parsing formatted records: %v", err)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip changed record count: %d vs %d", len(again), len(recs))
+		}
+		for i := range recs {
+			if again[i] != recs[i] {
+				t.Fatalf("record %d changed: %+v vs %+v", i, recs[i], again[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,195 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// Record is one operation of a recorded memory trace.
+type Record struct {
+	Kind   machine.OpKind
+	VA     uint64
+	Cycles sim.Cycles // OpCompute only
+}
+
+// ParseTrace reads the plain-text trace format, one record per line:
+//
+//	L <addr>      load
+//	S <addr>      store
+//	F <addr>      CLFLUSH
+//	C <cycles>    compute
+//
+// Addresses accept 0x-prefixed hex or decimal. Blank lines and lines
+// starting with '#' are ignored. The format is deliberately trivial so
+// traces from pin tools or other simulators convert with a one-line awk.
+func ParseTrace(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("workload: trace line %d: want \"<op> <value>\", got %q", lineNo, line)
+		}
+		val, err := strconv.ParseUint(fields[1], 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %v", lineNo, err)
+		}
+		var rec Record
+		switch strings.ToUpper(fields[0]) {
+		case "L":
+			rec = Record{Kind: machine.OpLoad, VA: val}
+		case "S":
+			rec = Record{Kind: machine.OpStore, VA: val}
+		case "F":
+			rec = Record{Kind: machine.OpFlush, VA: val}
+		case "C":
+			rec = Record{Kind: machine.OpCompute, Cycles: sim.Cycles(val)}
+		default:
+			return nil, fmt.Errorf("workload: trace line %d: unknown op %q", lineNo, fields[0])
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading trace: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	return out, nil
+}
+
+// FormatTrace writes records in the ParseTrace format.
+func FormatTrace(w io.Writer, recs []Record) error {
+	for _, r := range recs {
+		var err error
+		switch r.Kind {
+		case machine.OpLoad:
+			_, err = fmt.Fprintf(w, "L %#x\n", r.VA)
+		case machine.OpStore:
+			_, err = fmt.Fprintf(w, "S %#x\n", r.VA)
+		case machine.OpFlush:
+			_, err = fmt.Fprintf(w, "F %#x\n", r.VA)
+		case machine.OpCompute:
+			_, err = fmt.Fprintf(w, "C %d\n", uint64(r.Cycles))
+		default:
+			err = fmt.Errorf("workload: cannot format op kind %d", r.Kind)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TraceProgram replays a recorded trace on the machine, mapping every page
+// the trace touches at Init.
+type TraceProgram struct {
+	name string
+	recs []Record
+	loop uint64 // total passes (0 = forever)
+	pos  int
+	pass uint64
+}
+
+// NewTraceProgram builds the replayer. loops is how many times to replay
+// the trace (0 = forever).
+func NewTraceProgram(name string, recs []Record, loops uint64) (*TraceProgram, error) {
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	if name == "" {
+		name = "trace"
+	}
+	return &TraceProgram{name: name, recs: recs, loop: loops}, nil
+}
+
+// Name implements machine.Program.
+func (t *TraceProgram) Name() string { return t.name }
+
+// Init implements machine.Program: maps the distinct pages the trace
+// references.
+func (t *TraceProgram) Init(p *machine.Proc) error {
+	pages := map[uint64]bool{}
+	for _, r := range t.recs {
+		if r.Kind == machine.OpCompute {
+			continue
+		}
+		pages[r.VA&^uint64(vm.PageSize-1)] = true
+	}
+	sorted := make([]uint64, 0, len(pages))
+	for pg := range pages {
+		sorted = append(sorted, pg)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, pg := range sorted {
+		if err := p.AS.Map(pg, vm.PageSize); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Next implements machine.Program.
+func (t *TraceProgram) Next() machine.Op {
+	if t.pos >= len(t.recs) {
+		t.pos = 0
+		t.pass++
+		if t.loop > 0 && t.pass >= t.loop {
+			return machine.Op{Kind: machine.OpDone}
+		}
+	}
+	r := t.recs[t.pos]
+	t.pos++
+	return machine.Op{Kind: r.Kind, VA: r.VA, Cycles: r.Cycles}
+}
+
+var _ machine.Program = (*TraceProgram)(nil)
+
+// Recorder wraps a Program and captures the operation stream it emits, so
+// synthetic workloads (or attacks) can be exported as replayable traces.
+type Recorder struct {
+	inner machine.Program
+	limit int
+	recs  []Record
+}
+
+// NewRecorder wraps prog, recording up to limit operations (0 = unlimited;
+// use with care).
+func NewRecorder(prog machine.Program, limit int) *Recorder {
+	return &Recorder{inner: prog, limit: limit}
+}
+
+// Name implements machine.Program.
+func (r *Recorder) Name() string { return r.inner.Name() + "+rec" }
+
+// Init implements machine.Program.
+func (r *Recorder) Init(p *machine.Proc) error { return r.inner.Init(p) }
+
+// Next implements machine.Program.
+func (r *Recorder) Next() machine.Op {
+	op := r.inner.Next()
+	if op.Kind != machine.OpDone && (r.limit == 0 || len(r.recs) < r.limit) {
+		r.recs = append(r.recs, Record{Kind: op.Kind, VA: op.VA, Cycles: op.Cycles})
+	}
+	return op
+}
+
+// Records returns the captured operations.
+func (r *Recorder) Records() []Record { return r.recs }
+
+var _ machine.Program = (*Recorder)(nil)

@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/pmu"
+)
+
+func TestParseTrace(t *testing.T) {
+	in := `
+# a comment
+L 0x1000
+S 4096
+C 250
+F 0x1000
+`
+	recs, err := ParseTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{
+		{Kind: machine.OpLoad, VA: 0x1000},
+		{Kind: machine.OpStore, VA: 4096},
+		{Kind: machine.OpCompute, Cycles: 250},
+		{Kind: machine.OpFlush, VA: 0x1000},
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("records = %d", len(recs))
+	}
+	for i := range want {
+		if recs[i] != want[i] {
+			t.Errorf("record %d = %+v, want %+v", i, recs[i], want[i])
+		}
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	cases := []string{
+		"",               // empty
+		"L",              // missing operand
+		"L notanumber",   // bad operand
+		"X 0x1000",       // unknown op
+		"L 0x1000 extra", // too many fields
+	}
+	for _, in := range cases {
+		if _, err := ParseTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseTrace(%q) succeeded", in)
+		}
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Kind: machine.OpLoad, VA: 0xABCDE0},
+		{Kind: machine.OpStore, VA: 0x123456},
+		{Kind: machine.OpCompute, Cycles: 999},
+		{Kind: machine.OpFlush, VA: 0x40},
+	}
+	var buf bytes.Buffer
+	if err := FormatTrace(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("round trip lost records: %d vs %d", len(back), len(recs))
+	}
+	for i := range recs {
+		if back[i] != recs[i] {
+			t.Errorf("record %d: %+v vs %+v", i, back[i], recs[i])
+		}
+	}
+	if err := FormatTrace(&buf, []Record{{Kind: machine.OpDone}}); err == nil {
+		t.Error("formatting OpDone should fail")
+	}
+}
+
+func TestTraceProgramReplaysOnMachine(t *testing.T) {
+	recs := []Record{
+		{Kind: machine.OpLoad, VA: 0x10_0000},
+		{Kind: machine.OpLoad, VA: 0x20_0000},
+		{Kind: machine.OpFlush, VA: 0x10_0000},
+		{Kind: machine.OpLoad, VA: 0x10_0000},
+		{Kind: machine.OpCompute, Cycles: 100},
+	}
+	prog, err := NewTraceProgram("replay", recs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.DefaultConfig()
+	cfg.Cores = 1
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Spawn(0, prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(1 << 40); !errors.Is(err, machine.ErrAllDone) {
+		t.Fatal(err)
+	}
+	st := m.Cores[0].Stats
+	if st.Loads != 9 || st.Flushes != 3 {
+		t.Errorf("stats = %+v, want 9 loads / 3 flushes", st)
+	}
+	// The flushed line re-misses every pass: at least 3 LLC misses beyond
+	// the 2 cold ones.
+	if misses := m.Mem.PMU.Read(pmu.EvLLCMiss); misses < 5 {
+		t.Errorf("LLC misses = %d, want >= 5", misses)
+	}
+}
+
+func TestTraceProgramValidation(t *testing.T) {
+	if _, err := NewTraceProgram("x", nil, 1); err == nil {
+		t.Error("empty trace accepted")
+	}
+	p, err := NewTraceProgram("", []Record{{Kind: machine.OpCompute, Cycles: 1}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "trace" {
+		t.Errorf("default name = %q", p.Name())
+	}
+}
+
+func TestRecorderCapturesAndReplays(t *testing.T) {
+	prof, _ := ByName("bzip2")
+	rec := NewRecorder(MustNew(prof).WithOpLimit(200), 0)
+	cfg := machine.DefaultConfig()
+	cfg.Cores = 1
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Spawn(0, rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(1 << 40); !errors.Is(err, machine.ErrAllDone) {
+		t.Fatal(err)
+	}
+	recs := rec.Records()
+	if len(recs) == 0 {
+		t.Fatal("nothing recorded")
+	}
+	// The recording round-trips through the text format and replays with
+	// identical memory-op counts.
+	var buf bytes.Buffer
+	if err := FormatTrace(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := NewTraceProgram("replay", parsed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Spawn(0, replay); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Run(1 << 40); !errors.Is(err, machine.ErrAllDone) {
+		t.Fatal(err)
+	}
+	a, b := m.Cores[0].Stats, m2.Cores[0].Stats
+	if a.Loads != b.Loads || a.Stores != b.Stores {
+		t.Errorf("replay diverged: %d/%d loads, %d/%d stores", a.Loads, b.Loads, a.Stores, b.Stores)
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	prof, _ := ByName("sjeng")
+	rec := NewRecorder(MustNew(prof), 10)
+	for i := 0; i < 100; i++ {
+		rec.Next()
+	}
+	if len(rec.Records()) != 10 {
+		t.Errorf("records = %d, want 10", len(rec.Records()))
+	}
+}
