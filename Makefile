@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build test race fuzz-smoke vet lint fmt check
+
+all: build test vet lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Ten seconds per fuzz target: enough to shake out regressions in the
+# mapper round-trip and cache-policy invariants without stalling CI.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzMapperRoundTrip -fuzztime 10s ./internal/dram
+	$(GO) test -run '^$$' -fuzz FuzzPolicyInvariants -fuzztime 10s ./internal/cache
+
+vet:
+	$(GO) vet ./...
+
+# The project's own determinism/correctness analyzers (see internal/lint).
+# Also usable as a vet tool:
+#   go build -o anvillint ./cmd/anvillint && go vet -vettool=./anvillint ./...
+lint:
+	$(GO) run ./cmd/anvillint ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+check: fmt build vet lint test race

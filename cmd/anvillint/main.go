@@ -1,0 +1,150 @@
+// Command anvillint checks the repository against the simulator's
+// determinism and correctness invariants. It bundles the analyzers from
+// internal/lint:
+//
+//	detrand   — no math/rand, crypto/rand or wall-clock time in simulation code
+//	maporder  — no order-dependent bodies under map iteration
+//	randshare — no *sim.Rand shared across component constructors
+//	tickconv  — no narrowing conversions of sim.Cycles counters
+//
+// Standalone use:
+//
+//	go run ./cmd/anvillint ./...
+//	go run ./cmd/anvillint -disable tickconv ./internal/dram
+//
+// It also speaks the go vet driver protocol, so once built it can run as
+//
+//	go vet -vettool=$(pwd)/anvillint ./...
+//
+// Findings are suppressed line-by-line with "//lint:allow <analyzer> <why>"
+// directives; see internal/lint for the exact semantics.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/detrand"
+	"repro/internal/lint/maporder"
+	"repro/internal/lint/randshare"
+	"repro/internal/lint/tickconv"
+)
+
+var analyzers = []*lint.Analyzer{
+	detrand.Analyzer,
+	maporder.Analyzer,
+	randshare.Analyzer,
+	tickconv.Analyzer,
+}
+
+func main() {
+	// go vet driver protocol: version handshake, flag discovery, then one
+	// invocation per package with a .cfg file as the only argument.
+	if len(os.Args) == 2 {
+		switch {
+		case os.Args[1] == "-V=full":
+			printVersion()
+			return
+		case os.Args[1] == "-flags":
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(os.Args[1], ".cfg"):
+			os.Exit(unitCheck(os.Args[1]))
+		}
+	}
+
+	listFlag := flag.Bool("list", false, "list analyzers and exit")
+	disable := flag.String("disable", "", "comma-separated analyzers to skip")
+	jsonFlag := flag.Bool("json", false, "emit diagnostics as JSON")
+	flag.Parse()
+
+	if *listFlag {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	enabled := analyzers
+	if *disable != "" {
+		skip := make(map[string]bool)
+		for _, name := range strings.Split(*disable, ",") {
+			skip[strings.TrimSpace(name)] = true
+		}
+		enabled = nil
+		for _, a := range analyzers {
+			if !skip[a.Name] {
+				enabled = append(enabled, a)
+			}
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "anvillint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "anvillint:", err)
+		os.Exit(2)
+	}
+	diags, err := lint.RunAnalyzers(pkgs, enabled)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "anvillint:", err)
+		os.Exit(2)
+	}
+
+	if *jsonFlag {
+		type jsonDiag struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File: relPath(d.Pos.Filename), Line: d.Pos.Line, Column: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "anvillint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: %s (%s)\n",
+				relPath(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "anvillint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+func relPath(p string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return p
+	}
+	if rel, err := filepath.Rel(wd, p); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return p
+}

@@ -141,7 +141,9 @@ func run(attackKind, workloads, defName string, duration time.Duration, weakUnit
 			return err
 		}
 		v := hammer.Victim()
-		m.Mem.DRAM.PlantWeakRow(v.Bank, v.VictimRow, weakUnits)
+		if err := m.Mem.DRAM.PlantWeakRow(v.Bank, v.VictimRow, weakUnits); err != nil {
+			return err
+		}
 		fmt.Printf("attack %s targeting bank %d victim row %d (weakest cell: %.0f units)\n",
 			attackKind, v.Bank, v.VictimRow, weakUnits)
 		core++

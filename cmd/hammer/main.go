@@ -37,8 +37,12 @@ func main() {
 func run(kind string, refreshScale int, deadline time.Duration) error {
 	cfg := machine.DefaultConfig()
 	cfg.Cores = 1
-	if refreshScale > 1 {
-		cfg.Memory.DRAM.Timing = cfg.Memory.DRAM.Timing.WithRefreshScale(refreshScale)
+	if refreshScale != 1 {
+		t, err := cfg.Memory.DRAM.Timing.RefreshScaled(refreshScale)
+		if err != nil {
+			return err
+		}
+		cfg.Memory.DRAM.Timing = t
 	}
 	m, err := machine.New(cfg)
 	if err != nil {
@@ -90,7 +94,9 @@ func run(kind string, refreshScale int, deadline time.Duration) error {
 		return err
 	}
 	v := h.Victim()
-	m.Mem.DRAM.PlantWeakRow(v.Bank, v.VictimRow, 400_000)
+	if err := m.Mem.DRAM.PlantWeakRow(v.Bank, v.VictimRow, 400_000); err != nil {
+		return err
+	}
 	fmt.Printf("%s hammering bank %d rows %d/%d around victim row %d (refresh window %v)\n",
 		kind, v.Bank, v.VictimRow-1, v.VictimRow+1, v.VictimRow,
 		m.Freq.Duration(cfg.Memory.DRAM.Timing.RefreshPeriod))

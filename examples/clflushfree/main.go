@@ -70,7 +70,9 @@ func main() {
 
 	// Step 3: hammer with loads only.
 	v := a.Victim()
-	m.Mem.DRAM.PlantWeakRow(v.Bank, v.VictimRow, 400_000)
+	if err := m.Mem.DRAM.PlantWeakRow(v.Bank, v.VictimRow, 400_000); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("step 3: hammering victim row %d (bank %d) with loads only...\n", v.VictimRow, v.Bank)
 	slice := m.Freq.Cycles(time.Millisecond)
 	for now := sim.Cycles(0); now < m.Freq.Cycles(192*time.Millisecond); now += slice {

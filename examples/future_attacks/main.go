@@ -43,7 +43,10 @@ func scenario(name string, delay sim.Cycles, params *anvil.Params) {
 		log.Fatal(err)
 	}
 	v := a.Victim()
-	m.Mem.DRAM.PlantWeakRow(v.Bank, v.VictimRow, 200_000) // flips at ~110K accesses
+	// Flips at ~110K accesses.
+	if err := m.Mem.DRAM.PlantWeakRow(v.Bank, v.VictimRow, 200_000); err != nil {
+		log.Fatal(err)
+	}
 
 	var det *anvil.Detector
 	if params != nil {

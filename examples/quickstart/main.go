@@ -61,7 +61,9 @@ func run(protect bool) (int, *anvil.Detector) {
 	// Make the victim row as weak as the paper's module: it flips after
 	// 400K disturbance units (≈220K double-sided accesses).
 	v := hammer.Victim()
-	m.Mem.DRAM.PlantWeakRow(v.Bank, v.VictimRow, 400_000)
+	if err := m.Mem.DRAM.PlantWeakRow(v.Bank, v.VictimRow, 400_000); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("hammering rows %d/%d around victim row %d of bank %d\n",
 		v.VictimRow-1, v.VictimRow+1, v.VictimRow, v.Bank)
 

@@ -90,10 +90,11 @@ func (s *CovertSender) Init(p *machine.Proc) error {
 
 // Next implements machine.Program.
 func (s *CovertSender) Next() machine.Op {
-	slot := int(s.proc.Time() / s.cfg.SlotCycles)
-	if slot >= len(s.bits) {
+	slot64 := s.proc.Time() / s.cfg.SlotCycles
+	if slot64 >= sim.Cycles(len(s.bits)) {
 		return machine.Op{Kind: machine.OpDone}
 	}
+	slot := int(slot64) //lint:allow tickconv bounded by len(s.bits) just above
 	if s.bits[slot] {
 		// Keep the line warm throughout the slot (touch, pause, touch...).
 		s.toggle = !s.toggle
@@ -177,10 +178,11 @@ func (r *CovertReceiver) Next() machine.Op {
 		r.pendingSlot = -1
 	}
 	t := r.proc.Time()
-	slot := int(t / r.cfg.SlotCycles)
-	if slot >= r.slots {
+	slot64 := t / r.cfg.SlotCycles
+	if slot64 >= sim.Cycles(r.slots) {
 		return machine.Op{Kind: machine.OpDone}
 	}
+	slot := int(slot64) //lint:allow tickconv bounded by r.slots just above
 	if slot != r.evictSlot {
 		r.evictSlot = slot
 		r.evictSpent = 0

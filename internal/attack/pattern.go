@@ -168,11 +168,12 @@ func BuildPattern(es EvictionSet, kind cache.PolicyKind, ways int) (Pattern, err
 			continue
 		}
 		// Slots that miss every measured iteration can host the aggressor.
+		// Take the smallest qualifying id so the choice does not depend on
+		// map iteration order.
 		slot := -1
 		for id, n := range missIters {
-			if n == measure {
+			if n == measure && (slot < 0 || id < slot) {
 				slot = id
-				break
 			}
 		}
 		if slot < 0 {

@@ -449,14 +449,47 @@ func TestConfigValidation(t *testing.T) {
 	}
 }
 
-func TestPlantWeakRowPanicsOnNonPositive(t *testing.T) {
+func TestPlantWeakRowRejectsBadConfig(t *testing.T) {
 	m := mustModule(t, testConfig())
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
+	g := m.Config().Geometry
+	for _, tc := range []struct {
+		name      string
+		bank, row int
+		units     float64
+	}{
+		{"zero threshold", 0, 0, 0},
+		{"negative threshold", 0, 0, -5},
+		{"bank out of range", g.Banks(), 0, 1000},
+		{"negative bank", -1, 0, 1000},
+		{"row out of range", 0, g.RowsPerBank, 1000},
+		{"negative row", 0, -1, 1000},
+	} {
+		if err := m.PlantWeakRow(tc.bank, tc.row, tc.units); err == nil {
+			t.Errorf("%s: PlantWeakRow(%d, %d, %g) accepted", tc.name, tc.bank, tc.row, tc.units)
 		}
-	}()
-	m.PlantWeakRow(0, 0, 0)
+	}
+	if err := m.PlantWeakRow(0, 0, 1000); err != nil {
+		t.Errorf("valid plant rejected: %v", err)
+	}
+	if thr, ok := m.RowThreshold(0, 0); !ok || thr != 1000 {
+		t.Errorf("planted threshold not visible: got %g, %v", thr, ok)
+	}
+}
+
+func TestRefreshScaledRejectsBadScale(t *testing.T) {
+	tm := DefaultTiming(sim.DefaultFreq)
+	for _, scale := range []int{0, -1, -100} {
+		if _, err := tm.RefreshScaled(scale); err == nil {
+			t.Errorf("RefreshScaled(%d) accepted", scale)
+		}
+	}
+	double, err := tm.RefreshScaled(2)
+	if err != nil {
+		t.Fatalf("RefreshScaled(2): %v", err)
+	}
+	if double.RefreshPeriod != tm.RefreshPeriod/2 {
+		t.Error("RefreshScaled(2) did not halve the period")
+	}
 }
 
 func TestThresholdDistributionProperties(t *testing.T) {

@@ -168,31 +168,48 @@ func (m *Module) OnActivate(h ActivateHook) { m.hooks = append(m.hooks, h) }
 // are not intercepted — they never activate.
 func (m *Module) SetInterceptor(f func(c Coord, now sim.Cycles) bool) { m.interceptor = f }
 
+// plantCheck validates the coordinates and threshold common to the Plant
+// methods. Thresholds and coordinates typically come straight from CLI
+// flags, so violations are reported as errors rather than panics.
+func (m *Module) plantCheck(bank, row int, units float64) error {
+	switch {
+	case units <= 0:
+		return fmt.Errorf("dram: planted threshold must be positive, got %g", units)
+	case bank < 0 || bank >= m.cfg.Geometry.Banks():
+		return fmt.Errorf("dram: bank %d outside module (have %d banks)", bank, m.cfg.Geometry.Banks())
+	case row < 0 || row >= m.cfg.Geometry.RowsPerBank:
+		return fmt.Errorf("dram: row %d outside bank (have %d rows)", row, m.cfg.Geometry.RowsPerBank)
+	}
+	return nil
+}
+
 // PlantWeakRow overrides the weak cells of one row with a single cell at
 // the given threshold, making experiments exactly reproducible regardless
 // of the procedural weak-cell map.
-func (m *Module) PlantWeakRow(bank, row int, units float64) {
-	if units <= 0 {
-		panic(fmt.Sprintf("dram: planted threshold must be positive, got %g", units))
+func (m *Module) PlantWeakRow(bank, row int, units float64) error {
+	if err := m.plantCheck(bank, row, units); err != nil {
+		return err
 	}
 	bit := int(rowHash(m.cfg.Disturb.Seed^0xb17f11b, bank, row) % uint64(m.cfg.Geometry.RowBytes*8))
 	m.planted[victimKey(bank, row)] = []weakCell{{threshold: units, bit: bit}}
+	return nil
 }
 
 // PlantWeakCell appends one explicit weak cell (threshold + bit position)
 // to a row. Planting several cells in the same 64-bit word models the
 // multi-flip-per-word behaviour that defeats SECDED ECC (§1.2).
-func (m *Module) PlantWeakCell(bank, row int, units float64, bit int) {
-	if units <= 0 {
-		panic(fmt.Sprintf("dram: planted threshold must be positive, got %g", units))
+func (m *Module) PlantWeakCell(bank, row int, units float64, bit int) error {
+	if err := m.plantCheck(bank, row, units); err != nil {
+		return err
 	}
 	if bit < 0 || bit >= m.cfg.Geometry.RowBytes*8 {
-		panic(fmt.Sprintf("dram: bit %d outside the row", bit))
+		return fmt.Errorf("dram: bit %d outside the row (%d bits)", bit, m.cfg.Geometry.RowBytes*8)
 	}
 	k := victimKey(bank, row)
 	cells := append(m.planted[k], weakCell{threshold: units, bit: bit})
 	sort.Slice(cells, func(i, j int) bool { return cells[i].threshold < cells[j].threshold })
 	m.planted[k] = cells
+	return nil
 }
 
 // rowCells returns the row's weak cells, weakest first.

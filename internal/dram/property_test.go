@@ -148,19 +148,19 @@ func TestDeterministicFlips(t *testing.T) {
 // TestPlantWeakCellValidation exercises the multi-cell API's guards.
 func TestPlantWeakCellValidation(t *testing.T) {
 	m := mustModule(t, testConfig())
-	for _, f := range []func(){
-		func() { m.PlantWeakCell(0, 0, 0, 5) },
-		func() { m.PlantWeakCell(0, 0, 100, -1) },
-		func() { m.PlantWeakCell(0, 0, 100, m.Config().Geometry.RowBytes*8) },
+	for _, f := range []func() error{
+		func() error { return m.PlantWeakCell(0, 0, 0, 5) },
+		func() error { return m.PlantWeakCell(0, 0, 100, -1) },
+		func() error { return m.PlantWeakCell(0, 0, 100, m.Config().Geometry.RowBytes*8) },
+		func() error { return m.PlantWeakCell(-1, 0, 100, 5) },
+		func() error { return m.PlantWeakCell(0, m.Config().Geometry.RowsPerBank, 100, 5) },
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("bad PlantWeakCell did not panic")
-				}
-			}()
-			f()
-		}()
+		if f() == nil {
+			t.Error("bad PlantWeakCell accepted")
+		}
+	}
+	if err := m.PlantWeakCell(0, 0, 100, 5); err != nil {
+		t.Errorf("valid PlantWeakCell rejected: %v", err)
 	}
 }
 

@@ -149,7 +149,9 @@ func spawnHammer(m *machine.Machine, k hammerKind, opts attack.Options) (hammerP
 		return nil, err
 	}
 	v := h.Victim()
-	m.Mem.DRAM.PlantWeakRow(v.Bank, v.VictimRow, victimThreshold)
+	if err := m.Mem.DRAM.PlantWeakRow(v.Bank, v.VictimRow, victimThreshold); err != nil {
+		return nil, err
+	}
 	return h, nil
 }
 

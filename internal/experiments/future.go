@@ -54,7 +54,9 @@ func Section45(cfg Config) ([]Section45Row, error) {
 			return nil, err
 		}
 		v := h.Victim()
-		m.Mem.DRAM.PlantWeakRow(v.Bank, v.VictimRow, victimThreshold/2)
+		if err := m.Mem.DRAM.PlantWeakRow(v.Bank, v.VictimRow, victimThreshold/2); err != nil {
+			return nil, err
+		}
 		det, err := startANVIL(m, sc.params)
 		if err != nil {
 			return nil, err

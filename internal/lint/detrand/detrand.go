@@ -1,0 +1,88 @@
+// Package detrand forbids ambient sources of nondeterminism in simulation
+// code. Every stochastic decision in the simulator must flow from an owned
+// *sim.Rand stream, and every timestamp from the simulated cycle clock:
+// the paper's measured attack characteristics (Table 1's accesses-to-first-
+// flip counts) are only reproducible when re-running an experiment replays
+// the exact same event sequence. A single time.Now or math/rand call in the
+// hot path silently turns every A/B comparison between defenses into noise.
+//
+// Host-side CLIs that want to report real elapsed time may do so behind an
+// explicit "//lint:allow detrand <why>" directive.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"repro/internal/lint"
+)
+
+// Analyzer implements the detrand check.
+var Analyzer = &lint.Analyzer{
+	Name: "detrand",
+	Doc: "forbid math/rand, crypto/rand and wall-clock time sources in " +
+		"simulation code; stochastic behaviour must come from *sim.Rand " +
+		"and timing from the sim cycle clock",
+	Run: run,
+}
+
+// bannedImports are packages whose mere presence injects ambient
+// nondeterminism (global seeds, OS entropy).
+var bannedImports = map[string]string{
+	"math/rand":    "use a *sim.Rand stream owned by the component instead",
+	"math/rand/v2": "use a *sim.Rand stream owned by the component instead",
+	"crypto/rand":  "OS entropy is never appropriate inside the simulator",
+}
+
+// bannedTimeFuncs are the wall-clock entry points of package time. Pure
+// types and constants (time.Duration, time.Millisecond) remain fine: they
+// are used to express simulated durations.
+var bannedTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"Sleep":     true,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, ok := bannedImports[path]; ok {
+				pass.Reportf(spec.Pos(),
+					"import of %q injects ambient nondeterminism into the simulation; %s",
+					path, why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.ObjectOf(id).(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != "time" {
+				return true
+			}
+			if bannedTimeFuncs[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(),
+					"time.%s reads the host clock; derive timing from the simulated cycle clock (sim.Cycles/sim.Freq)",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

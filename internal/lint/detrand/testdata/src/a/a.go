@@ -1,0 +1,34 @@
+// Package a exercises the detrand analyzer: ambient nondeterminism is
+// caught, sim.Rand-based code and pure time arithmetic are accepted, and an
+// explicit directive lets host-side timing through.
+package a
+
+import (
+	"math/rand" // want `import of "math/rand" injects ambient nondeterminism`
+	"time"
+
+	"sim"
+)
+
+func violations() {
+	_ = rand.Int()
+	start := time.Now()           // want `time\.Now reads the host clock`
+	_ = time.Since(start)         // want `time\.Since reads the host clock`
+	time.Sleep(time.Millisecond)  // want `time\.Sleep reads the host clock`
+	_ = time.After(2 * time.Hour) // want `time\.After reads the host clock`
+}
+
+func accepted() time.Duration {
+	r := sim.NewRand(1)
+	_ = r.Intn(10)            // stochastic behaviour from an owned stream
+	d := 5 * time.Millisecond // time arithmetic expresses simulated durations
+	return d
+}
+
+func hostTiming() float64 {
+	start := time.Now() //lint:allow detrand host-side CLI reports real elapsed time
+	var total float64
+	//lint:allow detrand host-side CLI reports real elapsed time
+	total += time.Since(start).Seconds()
+	return total
+}

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A Directive is one parsed //lint:allow comment.
+type Directive struct {
+	Pos      token.Position // position of the comment itself
+	Analyzer string         // analyzer being allowed
+	Reason   string         // free-form justification (may be empty)
+}
+
+// directiveSet indexes directives by file and line for fast suppression
+// lookups. A directive suppresses diagnostics on its own line (trailing
+// comment) and on the line directly below it (standalone comment above the
+// offending statement).
+type directiveSet struct {
+	byLine map[string]map[int][]*Directive
+}
+
+const directivePrefix = "//lint:allow"
+
+// parseDirective decodes a single comment, returning nil if it is not an
+// allow directive.
+func parseDirective(pos token.Position, text string) *Directive {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return nil
+	}
+	rest := strings.TrimPrefix(text, directivePrefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil // e.g. //lint:allowfoo
+	}
+	// A nested "//" starts an ordinary trailing comment, not justification.
+	if i := strings.Index(rest, "//"); i >= 0 {
+		rest = rest[:i]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil
+	}
+	d := &Directive{Pos: pos, Analyzer: fields[0]}
+	if len(fields) > 1 {
+		d.Reason = strings.Join(fields[1:], " ")
+	}
+	return d
+}
+
+// collectDirectives scans every comment in the files for allow directives.
+func collectDirectives(fset *token.FileSet, files []*ast.File) *directiveSet {
+	set := &directiveSet{byLine: make(map[string]map[int][]*Directive)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := fset.Position(c.Slash)
+				d := parseDirective(pos, c.Text)
+				if d == nil {
+					continue
+				}
+				lines := set.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]*Directive)
+					set.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], d)
+			}
+		}
+	}
+	return set
+}
+
+// match returns a directive covering a diagnostic from the named analyzer at
+// pos, or nil if none applies.
+func (s *directiveSet) match(pos token.Position, analyzer string) *Directive {
+	lines := s.byLine[pos.Filename]
+	if lines == nil {
+		return nil
+	}
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		for _, d := range lines[line] {
+			if d.Analyzer == analyzer {
+				return d
+			}
+		}
+	}
+	return nil
+}

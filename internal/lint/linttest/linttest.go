@@ -1,0 +1,214 @@
+// Package linttest is a fixture-driven test harness for lint analyzers,
+// modelled on golang.org/x/tools/go/analysis/analysistest but built only on
+// the standard library.
+//
+// Fixture packages live under testdata/src/<name>. Each line that should
+// trigger a diagnostic carries a trailing comment of the form
+//
+//	// want "regexp"
+//
+// (several quoted regexps may follow one want). The harness loads the
+// fixture, runs the analyzer with the framework's normal //lint:allow
+// suppression in force, and fails the test on any unexpected or missing
+// diagnostic — so fixtures can demonstrate caught violations, accepted
+// patterns, and directive-based suppressions side by side.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// Run loads each fixture package under testdata/src and checks the
+// analyzer's diagnostics against the // want comments in its files.
+func Run(t *testing.T, testdata string, a *lint.Analyzer, pkgNames ...string) {
+	t.Helper()
+	l := &fixtureLoader{
+		src:  filepath.Join(testdata, "src"),
+		fset: token.NewFileSet(),
+		std:  importer.Default(),
+		pkgs: make(map[string]*lint.Package),
+	}
+	for _, name := range pkgNames {
+		pkg, err := l.load(name)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", name, err)
+		}
+		diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, name, err)
+		}
+		checkWants(t, l.fset, pkg, diags)
+	}
+}
+
+type fixtureLoader struct {
+	src  string
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*lint.Package
+}
+
+func (l *fixtureLoader) load(name string) (*lint.Package, error) {
+	if pkg, ok := l.pkgs[name]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(l.src, filepath.FromSlash(name))
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, fname := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, fname), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var terrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { terrs = append(terrs, err) },
+	}
+	tpkg, _ := conf.Check(name, l.fset, files, info)
+	if len(terrs) > 0 {
+		return nil, fmt.Errorf("type errors in fixture %s: %v", name, terrs[0])
+	}
+	pkg := &lint.Package{
+		Path:  name,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	l.pkgs[name] = pkg
+	return pkg, nil
+}
+
+// Import resolves fixture-local imports (any path with a directory under
+// testdata/src) and defers the rest to the toolchain importer.
+func (l *fixtureLoader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if hasDir(filepath.Join(l.src, filepath.FromSlash(path))) {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+func hasDir(p string) bool {
+	fi, err := os.Stat(p)
+	return err == nil && fi.IsDir()
+}
+
+// A want is one expected-diagnostic regexp at a file:line.
+type want struct {
+	pos token.Position
+	re  *regexp.Regexp
+	hit bool
+}
+
+var stringLitRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					// A want marker may follow other content in the same
+					// comment, e.g. `//lint:allow foo // want "..."`.
+					if i := strings.Index(text, "// want "); i >= 0 {
+						rest, ok = text[i+len("// want "):], true
+					}
+				}
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				lits := stringLitRe.FindAllString(rest, -1)
+				if len(lits) == 0 {
+					t.Errorf("%s: malformed want comment %q", pos, c.Text)
+					continue
+				}
+				for _, lit := range lits {
+					var pat string
+					if lit[0] == '`' {
+						pat = lit[1 : len(lit)-1]
+					} else {
+						var err error
+						pat, err = strconv.Unquote(lit)
+						if err != nil {
+							t.Errorf("%s: bad want string %s: %v", pos, lit, err)
+							continue
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+						continue
+					}
+					wants = append(wants, &want{pos: pos, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func checkWants(t *testing.T, fset *token.FileSet, pkg *lint.Package, diags []lint.Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, fset, pkg.Files)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.pos.Filename != d.Pos.Filename || w.pos.Line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s: expected diagnostic matching %q, got none", w.pos, w.re)
+		}
+	}
+}

@@ -1,0 +1,353 @@
+// Package maporder flags `for range` over a map whose loop body is
+// sensitive to iteration order. Go randomises map iteration per run, so any
+// order-dependent effect inside such a loop — appending to a slice, drawing
+// from a random stream, emitting output, or last-write-wins assignments to
+// state that outlives the loop — makes simulation results differ between
+// identical runs, which silently invalidates every A/B comparison between
+// defense configurations.
+//
+// Order-insensitive bodies are accepted without ceremony: commutative
+// accumulations (x += n, n++), monotone min/max guards
+// (if v > best { best = v }), deletes, and work on loop-local state. The
+// canonical fix for a flagged loop is to collect and sort the keys first;
+// when the order provably cannot matter (e.g. the slice is fully sorted by a
+// total order afterwards) the loop may carry a justified
+// "//lint:allow maporder <why>" directive, which this analyzer refuses to
+// honor without the justification.
+package maporder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Analyzer implements the maporder check.
+var Analyzer = &lint.Analyzer{
+	Name: "maporder",
+	Doc: "flag map iteration whose body is order-dependent (appends, rand " +
+		"draws, output, last-write-wins assignments); sort keys first",
+	RequireReason: true,
+	Run:           run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		sorts := sortSites(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if t := pass.TypeOf(rs.X); t == nil || !isMap(t) {
+				return true
+			}
+			checkMapRange(pass, rs, sorts)
+			return true
+		})
+	}
+	return nil
+}
+
+// sortSites records, per target variable, the positions of calls that
+// deterministically reorder a slice: sort.Slice/Strings/Ints/... and
+// slices.Sort/SortFunc/SortStableFunc. An append inside map iteration is
+// harmless when the slice is fully sorted afterwards, which is precisely the
+// "collect keys, sort, iterate" idiom this analyzer recommends.
+func sortSites(pass *lint.Pass, f *ast.File) map[types.Object][]token.Pos {
+	out := make(map[types.Object][]token.Pos)
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkg, ok := pass.ObjectOf(id).(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pkg.Imported().Path() {
+		case "sort":
+			switch sel.Sel.Name {
+			case "Slice", "SliceStable", "Strings", "Ints", "Float64s", "Sort", "Stable":
+			default:
+				return true
+			}
+		case "slices":
+			switch sel.Sel.Name {
+			case "Sort", "SortFunc", "SortStableFunc":
+			default:
+				return true
+			}
+		default:
+			return true
+		}
+		if root := rootIdent(call.Args[0]); root != nil {
+			if obj := pass.ObjectOf(root); obj != nil {
+				out[obj] = append(out[obj], call.Pos())
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isMap(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func checkMapRange(pass *lint.Pass, rs *ast.RangeStmt, sorts map[types.Object][]token.Pos) {
+	loopVars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.ObjectOf(id); obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	monotone := monotoneAssigns(rs.Body)
+
+	var reasons []string
+	addReason := func(pos token.Pos, format string, args ...interface{}) {
+		line := pass.Fset.Position(pos).Line
+		msg := fmt.Sprintf(format, args...)
+		reasons = append(reasons, fmt.Sprintf("%s (line %d)", msg, line))
+	}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, rs, n, monotone, sorts, addReason)
+		case *ast.CallExpr:
+			checkCall(pass, n, addReason)
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if usesAny(pass, res, loopVars) {
+					addReason(n.Pos(), "returns a value derived from the iteration")
+					break
+				}
+			}
+		}
+		return true
+	})
+
+	if len(reasons) == 0 {
+		return
+	}
+	if len(reasons) > 3 {
+		reasons = reasons[:3]
+	}
+	pass.Reportf(rs.For,
+		"map iteration order leaks into results: %s; sort the keys first or add //lint:allow maporder <why>",
+		strings.Join(reasons, "; "))
+}
+
+// checkAssign flags plain `=` writes (and order-dependent string
+// concatenation) whose target outlives the loop. Commutative numeric
+// compound assignments are accepted, as are monotone min/max guards.
+func checkAssign(pass *lint.Pass, rs *ast.RangeStmt, as *ast.AssignStmt,
+	monotone map[*ast.AssignStmt]bool, sorts map[types.Object][]token.Pos,
+	addReason func(token.Pos, string, ...interface{})) {
+	switch as.Tok {
+	case token.DEFINE:
+		return // declares loop-local state
+	case token.ASSIGN:
+		if monotone[as] {
+			return
+		}
+	case token.ADD_ASSIGN:
+		// x += y is commutative for numbers but builds an order-dependent
+		// sequence for strings.
+		if len(as.Lhs) == 1 {
+			if t := pass.TypeOf(as.Lhs[0]); t != nil {
+				if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					if root := rootIdent(as.Lhs[0]); root != nil {
+						if obj := pass.ObjectOf(root); obj != nil && !within(obj.Pos(), rs) {
+							addReason(as.Pos(), "concatenates onto %s in iteration order", root.Name)
+						}
+					}
+				}
+			}
+		}
+		return
+	default:
+		return // other compound ops accumulate commutatively
+	}
+	for i, lhs := range as.Lhs {
+		root := rootIdent(lhs)
+		if root == nil || root.Name == "_" {
+			continue
+		}
+		obj := pass.ObjectOf(root)
+		if obj == nil || within(obj.Pos(), rs) {
+			continue // loop-local target: each iteration independent
+		}
+		if isAppend(as, i) {
+			if sortedAfter(sorts, obj, rs) {
+				continue // collect-then-sort: the canonical accepted idiom
+			}
+			addReason(as.Pos(), "appends to %s in iteration order", root.Name)
+		} else {
+			addReason(as.Pos(), "last-write-wins assignment to %s", root.Name)
+		}
+	}
+}
+
+func checkCall(pass *lint.Pass, call *ast.CallExpr, addReason func(token.Pos, string, ...interface{})) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name == "print" || fun.Name == "println" {
+			if _, ok := pass.ObjectOf(fun).(*types.Builtin); ok {
+				addReason(call.Pos(), "writes output via %s", fun.Name)
+			}
+		}
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pkg, ok := pass.ObjectOf(id).(*types.PkgName); ok {
+				if pkg.Imported().Path() == "fmt" && isPrintName(name) && !strings.HasPrefix(name, "Sprint") {
+					addReason(call.Pos(), "writes output via fmt.%s", name)
+				}
+				return
+			}
+		}
+		if lint.IsSimRand(pass.TypeOf(fun.X)) {
+			addReason(call.Pos(), "draws from a *sim.Rand (stream advance depends on iteration order)")
+			return
+		}
+		if strings.HasPrefix(name, "Write") || strings.HasPrefix(name, "Print") || name == "AddRow" {
+			addReason(call.Pos(), "writes output via %s", name)
+		}
+	}
+}
+
+func isPrintName(name string) bool {
+	return strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") ||
+		strings.HasPrefix(name, "Sprint")
+}
+
+// sortedAfter reports whether obj is the target of a deterministic sort call
+// positioned after the map-range statement.
+func sortedAfter(sorts map[types.Object][]token.Pos, obj types.Object, rs *ast.RangeStmt) bool {
+	for _, pos := range sorts[obj] {
+		if pos > rs.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// monotoneAssigns returns the assignments forming min/max guard patterns:
+//
+//	if v > best { best = v }
+//	if ok && (best < 0 || v < best) { best = v }
+//
+// i.e. a guarded assignment whose condition contains a comparison between
+// exactly the assigned expression and value; such selections converge to the
+// same result in any iteration order.
+func monotoneAssigns(body *ast.BlockStmt) map[*ast.AssignStmt]bool {
+	out := make(map[*ast.AssignStmt]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || ifs.Else != nil {
+			return true
+		}
+		var leaves [][2]string
+		collectComparisons(ifs.Cond, &leaves)
+		if len(leaves) == 0 {
+			return true
+		}
+		for _, stmt := range ifs.Body.List {
+			as, ok := stmt.(*ast.AssignStmt)
+			if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				continue
+			}
+			l, r := types.ExprString(as.Lhs[0]), types.ExprString(as.Rhs[0])
+			for _, leaf := range leaves {
+				if (l == leaf[0] && r == leaf[1]) || (l == leaf[1] && r == leaf[0]) {
+					out[as] = true
+					break
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// collectComparisons gathers the ordered-comparison leaves of a condition,
+// looking through parentheses and boolean connectives.
+func collectComparisons(e ast.Expr, out *[][2]string) {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		collectComparisons(e.X, out)
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND, token.LOR:
+			collectComparisons(e.X, out)
+			collectComparisons(e.Y, out)
+		case token.LSS, token.LEQ, token.GTR, token.GEQ:
+			*out = append(*out, [2]string{types.ExprString(e.X), types.ExprString(e.Y)})
+		}
+	}
+}
+
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isAppend(as *ast.AssignStmt, i int) bool {
+	if i >= len(as.Rhs) {
+		return false
+	}
+	call, ok := as.Rhs[i].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "append"
+}
+
+func within(pos token.Pos, n ast.Node) bool {
+	return n.Pos() <= pos && pos <= n.End()
+}
+
+func usesAny(pass *lint.Pass, e ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.ObjectOf(id); obj != nil && objs[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,106 @@
+// Package a exercises the maporder analyzer: order-dependent map-iteration
+// bodies are caught, commutative accumulation and sorted-key iteration are
+// accepted, and a justified directive suppresses a provably-safe loop.
+package a
+
+import (
+	"fmt"
+	"sort"
+
+	"sim"
+)
+
+func appends(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `appends to keys`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func output(m map[string]int) {
+	for k, v := range m { // want `writes output via fmt\.Printf`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func draws(m map[string]int, r *sim.Rand) int {
+	n := 0
+	for range m { // want `draws from a \*sim\.Rand`
+		n += r.Intn(2)
+	}
+	return n
+}
+
+func lastWins(m map[string]int) string {
+	last := ""
+	for k := range m { // want `last-write-wins assignment to last`
+		last = k
+	}
+	return last
+}
+
+func returnsArbitrary(m map[string]int) string {
+	for k := range m { // want `returns a value derived from the iteration`
+		return k
+	}
+	return ""
+}
+
+func concats(m map[string]int) string {
+	s := ""
+	for k := range m { // want `concatenates onto s in iteration order`
+		s += k
+	}
+	return s
+}
+
+func commutative(m map[string]int) (int, int) {
+	total, peak := 0, 0
+	for _, v := range m { // accepted: sums and monotone max are order-free
+		total += v
+		if v > peak {
+			peak = v
+		}
+	}
+	return total, peak
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // accepted: keys are fully sorted before use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys { // accepted: iterating the sorted slice
+		out = append(out, k)
+	}
+	return out
+}
+
+func minQualifying(m map[int]int) int {
+	slot := -1
+	for id, n := range m { // accepted: guarded min-selection converges in any order
+		if n == 6 && (slot < 0 || id < slot) {
+			slot = id
+		}
+	}
+	return slot
+}
+
+func unorderedBag(m map[string]int) []int {
+	var bag []int
+	for _, v := range m { //lint:allow maporder consumed as an order-free bag by the caller
+		bag = append(bag, v)
+	}
+	return bag
+}
+
+func bareDirective(m map[string]int) []int {
+	var out []int
+	for _, v := range m { //lint:allow maporder // want `needs a justification`
+		out = append(out, v)
+	}
+	return out
+}

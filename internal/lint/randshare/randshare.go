@@ -1,0 +1,116 @@
+// Package randshare flags handing the same *sim.Rand value to more than one
+// component constructor within a function body. The simulator's determinism
+// contract ("adding or removing one component never perturbs the random
+// streams seen by the others") only holds when every component owns a stream
+// derived via Split(): two components sharing one generator interleave their
+// draws, so any change to one silently reshuffles the randomness seen by the
+// other and every downstream measurement.
+package randshare
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"repro/internal/lint"
+)
+
+// Analyzer implements the randshare check.
+var Analyzer = &lint.Analyzer{
+	Name: "randshare",
+	Doc: "flag the same *sim.Rand passed to multiple component " +
+		"constructors; derive independent streams with Split()",
+	Run: run,
+}
+
+// constructorRe matches constructor-shaped callee names: New, NewFoo,
+// MustBar, MakeBaz, BuildQux.
+var constructorRe = regexp.MustCompile(`^(New|Must|Make|Build)([A-Z].*)?$`)
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkBody(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+// checkBody records, per function body, which *sim.Rand values have already
+// been given to a constructor, and reports every reuse.
+func checkBody(pass *lint.Pass, body *ast.BlockStmt) {
+	type firstUse struct {
+		callee string
+	}
+	seen := make(map[string]firstUse) // canonical expr string -> first constructor
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeName(call)
+		if callee == "" || !constructorRe.MatchString(callee) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if !lint.IsSimRand(pass.TypeOf(arg)) {
+				continue
+			}
+			key, ok := canonicalRand(pass, arg)
+			if !ok {
+				continue // e.g. rng.Split(): a fresh stream per call site
+			}
+			if prev, dup := seen[key]; dup {
+				pass.Reportf(arg.Pos(),
+					"%s reuses *sim.Rand %q already given to %s; derive an independent stream with %s.Split()",
+					callee, key, prev.callee, key)
+				continue
+			}
+			seen[key] = firstUse{callee: callee}
+		}
+		return true
+	})
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// canonicalRand returns a stable identity for a *sim.Rand argument
+// expression: the variable object for plain identifiers, or the printed
+// selector path for field accesses (cfg.Rng, m.rng). Call results have no
+// stable identity and are treated as fresh streams.
+func canonicalRand(pass *lint.Pass, arg ast.Expr) (string, bool) {
+	switch e := arg.(type) {
+	case *ast.Ident:
+		if obj := pass.ObjectOf(e); obj != nil {
+			if _, isVar := obj.(*types.Var); isVar {
+				return e.Name, true
+			}
+		}
+		return "", false
+	case *ast.SelectorExpr:
+		// Only pure field chains (no calls) have stable identity.
+		pure := true
+		ast.Inspect(e, func(n ast.Node) bool {
+			if _, ok := n.(*ast.CallExpr); ok {
+				pure = false
+			}
+			return pure
+		})
+		if pure {
+			return types.ExprString(e), true
+		}
+	}
+	return "", false
+}

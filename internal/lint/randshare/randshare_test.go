@@ -1,0 +1,12 @@
+package randshare_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/randshare"
+)
+
+func TestRandshare(t *testing.T) {
+	linttest.Run(t, "testdata", randshare.Analyzer, "a")
+}

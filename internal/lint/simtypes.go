@@ -1,0 +1,35 @@
+package lint
+
+import (
+	"go/types"
+	"strings"
+)
+
+// isSimNamed reports whether t is the named type sim.<name> (directly or via
+// one level of pointer), matching any package whose import path is "sim" or
+// ends in "/sim" so that test fixtures with a stub sim package behave like
+// the real repro/internal/sim.
+func isSimNamed(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "sim" || strings.HasSuffix(path, "/sim")
+}
+
+// IsSimRand reports whether t is sim.Rand or *sim.Rand.
+func IsSimRand(t types.Type) bool { return isSimNamed(t, "Rand") }
+
+// IsSimCycles reports whether t is sim.Cycles (the simulator's tick type).
+func IsSimCycles(t types.Type) bool { return isSimNamed(t, "Cycles") }

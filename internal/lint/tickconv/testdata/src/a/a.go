@@ -1,0 +1,28 @@
+// Package a exercises the tickconv analyzer: narrowing conversions of
+// sim.Cycles are caught, full-range and reporting conversions are accepted,
+// and a provably-bounded conversion passes with a justified directive.
+package a
+
+import "sim"
+
+func narrowing(now sim.Cycles) {
+	_ = int(now)    // want `conversion int\(now\) truncates a cycle counter`
+	_ = uint32(now) // want `conversion uint32\(now\) truncates a cycle counter`
+	_ = int64(now)  // want `conversion int64\(now\) truncates a cycle counter`
+	type slot uint16
+	_ = slot(now) // want `conversion slot\(now\) truncates a cycle counter`
+}
+
+func accepted(now, deadline sim.Cycles) float64 {
+	u := uint64(now)          // full-range conversion
+	f := float64(now) / 2.6e9 // reporting math
+	_ = sim.Cycles(u)         // widening back into the tick type
+	if now > deadline {       // comparisons stay in sim.Cycles
+		f += float64(now - deadline)
+	}
+	return f
+}
+
+func bounded(now sim.Cycles) int {
+	return int(now % 8) //lint:allow tickconv modulus bounds the value below 8
+}

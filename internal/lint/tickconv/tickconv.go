@@ -1,0 +1,66 @@
+// Package tickconv flags narrowing conversions of the simulator's cycle
+// counter type. sim.Cycles is a uint64 instant/duration; experiments run for
+// billions of cycles (a simulated minute at 2.6 GHz is 1.56e11 ticks, past
+// the uint32 range), so converting a cycle count to int/int32/uint32 — or a
+// signed 64-bit type where wraparound comparisons go negative — silently
+// corrupts refresh-window arithmetic in long-running experiments.
+// Conversions to uint64 and to floating point (for reporting) are exempt.
+package tickconv
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// Analyzer implements the tickconv check.
+var Analyzer = &lint.Analyzer{
+	Name: "tickconv",
+	Doc: "flag narrowing integer conversions of sim.Cycles counters " +
+		"(uint64 → int/uint32/...) that truncate long-experiment tick counts",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			tv, ok := pass.Info.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true
+			}
+			src := pass.TypeOf(call.Args[0])
+			if !lint.IsSimCycles(src) {
+				return true
+			}
+			dst := tv.Type
+			if kindOK(dst) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"conversion %s(%s) truncates a cycle counter (sim.Cycles is uint64; experiments exceed 2^32 ticks); keep tick math in sim.Cycles or uint64",
+				types.ExprString(call.Fun), types.ExprString(call.Args[0]))
+			return true
+		})
+	}
+	return nil
+}
+
+// kindOK reports whether converting a sim.Cycles value into dst preserves
+// the full counter range: uint64-underlying types and floats (reporting
+// math) are fine, every narrower or signed integer type is not.
+func kindOK(dst types.Type) bool {
+	b, ok := dst.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Uint64, types.Float32, types.Float64, types.String:
+		return true
+	}
+	return false
+}

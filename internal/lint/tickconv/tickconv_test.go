@@ -1,0 +1,12 @@
+package tickconv_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/tickconv"
+)
+
+func TestTickconv(t *testing.T) {
+	linttest.Run(t, "testdata", tickconv.Analyzer, "a")
+}

@@ -175,6 +175,35 @@ func TestRandSplitIndependence(t *testing.T) {
 	}
 }
 
+// TestRandSplitStreamsUncorrelated is the stronger cousin of
+// TestRandSplitIndependence: beyond not colliding, sibling streams (and the
+// parent they were split from) should show no linear correlation.
+func TestRandSplitStreamsUncorrelated(t *testing.T) {
+	parent := NewRand(42)
+	a := parent.Split()
+	b := parent.Split()
+	const n = 20000
+	sample := func(r *Rand) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = r.Float64()
+		}
+		return out
+	}
+	xs, ys, ps := sample(a), sample(b), sample(parent)
+	for _, pair := range []struct {
+		name string
+		a, b []float64
+	}{
+		{"sibling/sibling", xs, ys},
+		{"parent/child", ps, xs},
+	} {
+		if c := Correlation(pair.a, pair.b); math.Abs(c) > 0.03 {
+			t.Errorf("%s correlation = %g, want ~0", pair.name, c)
+		}
+	}
+}
+
 func TestRandNormFloat64(t *testing.T) {
 	r := NewRand(17)
 	var sum, sq float64
