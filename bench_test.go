@@ -1,234 +1,69 @@
 package repro_test
 
-// One benchmark per table and figure of the paper's evaluation. Each bench
-// regenerates its experiment on the simulated machine and reports the
-// headline quantities as custom metrics, so
+// The benchmark suite enumerates the experiment registry: every table and
+// figure of the paper's evaluation regenerates under
 //
-//	go test -bench=. -benchtime=1x -benchmem
+//	go test -bench=Experiments -benchtime=1x -benchmem
 //
-// reproduces the entire evaluation. The quick variants (-short) shrink run
-// lengths. The metric *names* mirror the paper's: ms-to-flip, accesses,
-// detection latency, refresh rates, normalized execution times.
+// with each experiment's headline quantities (ms-to-flip, accesses,
+// detection latency, refresh rates, normalized execution times) reported as
+// custom metrics straight from its registered Result. The quick variants
+// (-short) shrink run lengths. BenchmarkTable1Sweep measures the parallel
+// seed-sharded runner: the same 16-seed Table 1 sweep at 1 worker and at 8,
+// reporting the wall-clock speedup (the merged results are byte-identical
+// by construction — see scenario.RunMany).
 
 import (
 	"testing"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 )
 
-func cfg(b *testing.B) experiments.Config {
-	return experiments.Config{Quick: testing.Short()}
+func cfg(b *testing.B) scenario.Config {
+	return scenario.Config{Quick: testing.Short()}
 }
 
-// BenchmarkTable1_AttackCharacteristics regenerates Table 1: minimum DRAM
-// row accesses and time to first bit flip for the three attacks.
-func BenchmarkTable1_AttackCharacteristics(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table1(cfg(b))
-		if err != nil {
-			b.Fatal(err)
-		}
-		for _, r := range rows {
-			if !r.Flipped {
-				b.Fatalf("%s: no flip", r.Technique)
+// BenchmarkExperiments regenerates every registered experiment by name.
+func BenchmarkExperiments(b *testing.B) {
+	for _, e := range scenario.Experiments() {
+		b.Run(e.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := e.Run(cfg(b))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if m, ok := res.(scenario.Metricer); ok {
+					for _, met := range m.Metrics() {
+						b.ReportMetric(met.Value, met.Name)
+					}
+				}
+				b.Log("\n" + res.Render())
 			}
-		}
-		b.ReportMetric(float64(rows[0].MinAccesses)/1000, "singleK")
-		b.ReportMetric(float64(rows[1].MinAccesses)/1000, "doubleK")
-		b.ReportMetric(float64(rows[2].MinAccesses)/1000, "freeK")
-		b.ReportMetric(float64(rows[1].TimeToFlip)/float64(time.Millisecond), "double-ms")
-		b.ReportMetric(float64(rows[2].TimeToFlip)/float64(time.Millisecond), "free-ms")
-		b.Log("\n" + experiments.RenderTable1(rows))
+		})
 	}
 }
 
-// BenchmarkFigure1_PatternMisses regenerates Figure 1(b)'s property: the
-// CLFLUSH-free pattern misses the LLC on the aggressor every iteration with
-// a constant number of extra misses.
-func BenchmarkFigure1_PatternMisses(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		r, err := experiments.Figure1(cfg(b))
-		if err != nil {
+// BenchmarkTable1Sweep runs the 16-seed Table 1 sweep serially and with an
+// 8-worker pool, reporting both wall-clock times and the speedup. On a
+// machine with >=8 cores the pool delivers near-linear scaling because each
+// replicate owns its machine; on fewer cores the speedup degrades towards
+// 1x but the merged results stay byte-identical.
+func BenchmarkTable1Sweep(b *testing.B) {
+	sweep := func(workers int) time.Duration {
+		c := scenario.Config{Quick: testing.Short(), Parallel: workers}
+		start := time.Now()
+		if _, err := experiments.Table1Sweep(c); err != nil {
 			b.Fatal(err)
 		}
-		if !r.AggressorAlwaysMisses {
-			b.Fatal("aggressor does not miss every iteration")
-		}
-		b.ReportMetric(float64(r.FreeSeqLen), "loads/iter")
-		b.ReportMetric(float64(r.FreeMissesPerIter), "misses/iter")
+		return time.Since(start)
 	}
-}
-
-// BenchmarkSection21_DoubleRefreshBypass regenerates §2.1: bit flips under
-// the deployed 32 ms double-refresh mitigation.
-func BenchmarkSection21_DoubleRefreshBypass(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Section21(cfg(b))
-		if err != nil {
-			b.Fatal(err)
-		}
-		if !r.Flipped {
-			b.Fatal("no flip under double refresh; §2.1 requires the bypass")
-		}
-		b.ReportMetric(float64(r.TimeToFlip)/float64(time.Millisecond), "ms-to-flip")
-	}
-}
-
-// BenchmarkSection22_PolicyInference regenerates §2.2: the replacement-
-// policy identification experiment must single out Bit-PLRU.
-func BenchmarkSection22_PolicyInference(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		scores, err := experiments.Section22(cfg(b))
-		if err != nil {
-			b.Fatal(err)
-		}
-		if scores[0].Policy != "bit-plru" {
-			b.Fatalf("inference ranked %s first", scores[0].Policy)
-		}
-		b.ReportMetric(scores[0].Match, "best-agreement")
-		b.ReportMetric(scores[1].Match, "runnerup-agreement")
-	}
-}
-
-// BenchmarkTable3_Detection regenerates Table 3: detection latency,
-// selective-refresh rate, and (zero) bit flips for both attacks under light
-// and heavy load.
-func BenchmarkTable3_Detection(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table3(cfg(b))
-		if err != nil {
-			b.Fatal(err)
-		}
-		flips := 0
-		for _, r := range rows {
-			flips += r.TotalBitFlips
-		}
-		if flips != 0 {
-			b.Fatalf("ANVIL allowed %d flips", flips)
-		}
-		b.ReportMetric(float64(rows[0].AvgTimeToDetect)/float64(time.Millisecond), "clflush-heavy-ms")
-		b.ReportMetric(float64(rows[3].AvgTimeToDetect)/float64(time.Millisecond), "free-light-ms")
-		b.ReportMetric(rows[0].RefreshesPer64ms, "clflush-heavy-refr/64ms")
-		b.Log("\n" + experiments.RenderTable3(rows))
-	}
-}
-
-// BenchmarkTable4_FalsePositives regenerates Table 4: superfluous refresh
-// rates for the twelve SPEC profiles under ANVIL-baseline.
-func BenchmarkTable4_FalsePositives(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table4(cfg(b))
-		if err != nil {
-			b.Fatal(err)
-		}
-		var worst, sum float64
-		for _, r := range rows {
-			sum += r.RefreshesPerSec
-			if r.RefreshesPerSec > worst {
-				worst = r.RefreshesPerSec
-			}
-		}
-		b.ReportMetric(worst, "worst-refr/s")
-		b.ReportMetric(sum/float64(len(rows)), "mean-refr/s")
-		b.Log("\n" + experiments.RenderTable4(rows))
-	}
-}
-
-// BenchmarkFigure3_Overhead regenerates Figure 3: normalized execution time
-// under ANVIL and under doubled refresh.
-func BenchmarkFigure3_Overhead(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Figure3(cfg(b))
-		if err != nil {
-			b.Fatal(err)
-		}
-		avg, peak := experiments.Figure3Summary(rows)
-		b.ReportMetric((avg-1)*100, "anvil-mean-%")
-		b.ReportMetric((peak-1)*100, "anvil-peak-%")
-		b.Log("\n" + experiments.RenderFigure3(rows))
-	}
-}
-
-// BenchmarkFigure4_Sensitivity regenerates Figure 4: overhead sensitivity
-// to the baseline/light/heavy configurations.
-func BenchmarkFigure4_Sensitivity(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Figure4(cfg(b))
-		if err != nil {
-			b.Fatal(err)
-		}
-		var base, light, heavy float64
-		for _, r := range rows {
-			base += r.Baseline - 1
-			light += r.Light - 1
-			heavy += r.Heavy - 1
-		}
-		n := float64(len(rows))
-		b.ReportMetric(100*base/n, "baseline-mean-%")
-		b.ReportMetric(100*light/n, "light-mean-%")
-		b.ReportMetric(100*heavy/n, "heavy-mean-%")
-		b.Log("\n" + experiments.RenderFigure4(rows))
-	}
-}
-
-// BenchmarkTable5_ConfigFalsePositives regenerates Table 5: false-positive
-// rates under ANVIL-light and ANVIL-heavy.
-func BenchmarkTable5_ConfigFalsePositives(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table5(cfg(b))
-		if err != nil {
-			b.Fatal(err)
-		}
-		var light, heavy float64
-		for _, r := range rows {
-			light += r.Light
-			heavy += r.Heavy
-		}
-		b.ReportMetric(light/float64(len(rows)), "light-mean-refr/s")
-		b.ReportMetric(heavy/float64(len(rows)), "heavy-mean-refr/s")
-		b.Log("\n" + experiments.RenderTable5(rows))
-	}
-}
-
-// BenchmarkSection45_FutureAttacks regenerates §4.5: ANVIL-heavy vs the
-// fast future attack, ANVIL-light vs the slow one — zero flips in both.
-func BenchmarkSection45_FutureAttacks(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Section45(cfg(b))
-		if err != nil {
-			b.Fatal(err)
-		}
-		for _, r := range rows {
-			if r.BitFlips != 0 {
-				b.Fatalf("%s: %d flips under %s", r.Scenario, r.BitFlips, r.Config)
-			}
-			if r.Detections == 0 {
-				b.Fatalf("%s: never detected", r.Scenario)
-			}
-		}
-		b.ReportMetric(float64(rows[0].Detections), "fast-detections")
-		b.ReportMetric(float64(rows[1].Detections), "slow-detections")
-	}
-}
-
-// BenchmarkBaselineDefenses is the extension comparison: every mitigation
-// in the repository against the CLFLUSH attack.
-func BenchmarkBaselineDefenses(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Defenses(cfg(b))
-		if err != nil {
-			b.Fatal(err)
-		}
-		if rows[0].BitFlips == 0 {
-			b.Fatal("unprotected control run did not flip")
-		}
-		for _, r := range rows[2:] {
-			if r.BitFlips != 0 {
-				b.Fatalf("%s allowed %d flips", r.Defense, r.BitFlips)
-			}
-		}
-		b.ReportMetric(float64(rows[0].BitFlips), "unprotected-flips")
-		b.Log("\n" + experiments.RenderDefenses(rows))
+		serial := sweep(1)
+		parallel := sweep(8)
+		b.ReportMetric(serial.Seconds(), "serial-s")
+		b.ReportMetric(parallel.Seconds(), "parallel8-s")
+		b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup-8w")
 	}
 }

@@ -1,6 +1,7 @@
 // Command anvilsim runs one scenario on the simulated machine: a workload
 // and/or a rowhammer attack, under a chosen defense, and reports what
-// happened to the DRAM and what the defense cost.
+// happened to the DRAM and what the defense cost. It is a thin CLI over
+// scenario.Spec — flags map one-to-one onto Spec fields.
 //
 // Examples:
 //
@@ -8,7 +9,7 @@
 //	anvilsim -workload mcf -defense anvil -duration 200ms
 //	anvilsim -attack clflush-free -workload mcf,libquantum,omnetpp -defense anvil
 //	anvilsim -attack double-flush -defense 2x-refresh
-//	anvilsim -attack single-flush -defense para
+//	anvilsim -attack single-flush -defense para -seed 7
 package main
 
 import (
@@ -19,13 +20,8 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/anvil"
-	"repro/internal/attack"
-	"repro/internal/cache"
-	"repro/internal/defense"
-	"repro/internal/machine"
 	"repro/internal/report"
-	"repro/internal/sim"
+	"repro/internal/scenario"
 	"repro/internal/workload"
 )
 
@@ -35,10 +31,10 @@ func main() {
 	var (
 		attackKind = flag.String("attack", "", "attack to run: single-flush, double-flush, clflush-free")
 		workloads  = flag.String("workload", "", "comma-separated SPEC2006 profiles to co-run")
-		defName    = flag.String("defense", "none", "defense: none, anvil, anvil-light, anvil-heavy, 2x-refresh, para, trr, cra, armor")
+		defName    = flag.String("defense", "none", "defense: "+defenseNames())
 		duration   = flag.Duration("duration", 192*time.Millisecond, "simulated run time")
-		weakUnits  = flag.Float64("weak", 400_000, "disturbance threshold planted at the attack's victim row")
-		seed       = flag.Uint64("seed", 0, "extra seed for the PMU sampler")
+		weakUnits  = flag.Float64("weak", scenario.DefaultWeakUnits, "disturbance threshold planted at the attack's victim row")
+		seed       = flag.Uint64("seed", 0, "root seed for machine-level randomness (0 = calibrated defaults)")
 	)
 	flag.Parse()
 
@@ -49,129 +45,42 @@ func main() {
 }
 
 func run(attackKind, workloads, defName string, duration time.Duration, weakUnits float64, seed uint64) error {
-	var profs []workload.Profile
+	spec := scenario.Spec{
+		Seed:     seed,
+		Duration: duration,
+		Defense:  scenario.DefenseKind(defName),
+	}
+	if attackKind != "" {
+		spec.Attack = &scenario.Attack{
+			Kind:      scenario.AttackKind(attackKind),
+			WeakUnits: weakUnits,
+		}
+	}
 	for _, name := range strings.Split(workloads, ",") {
 		if name = strings.TrimSpace(name); name == "" {
 			continue
 		}
-		p, ok := workload.ByName(name)
-		if !ok {
+		if _, ok := workload.ByName(name); !ok {
 			return fmt.Errorf("unknown workload %q (try: %s)", name, names())
 		}
-		profs = append(profs, p)
+		spec.Workloads = append(spec.Workloads, scenario.Workload{Name: name})
 	}
-	cores := len(profs)
-	if attackKind != "" {
-		cores++
-	}
-	if cores == 0 {
+	if spec.Attack == nil && len(spec.Workloads) == 0 {
 		return fmt.Errorf("nothing to run: pass -attack and/or -workload")
 	}
 
-	cfg := machine.DefaultConfig()
-	cfg.Cores = cores
-	cfg.Memory.PMUSeed += seed
-	if defName == "2x-refresh" {
-		cfg.Memory.DRAM.Timing = cfg.Memory.DRAM.Timing.WithRefreshScale(2)
-	}
-	m, err := machine.New(cfg)
+	in, err := scenario.Build(spec)
 	if err != nil {
 		return err
 	}
-
-	// Hardware defenses attach before anything runs.
-	var hw defense.Defense
-	switch defName {
-	case "para":
-		hw, err = defense.NewPARA(0.001, 0xA11)
-	case "trr":
-		hw, err = defense.NewTRR(50_000, m.Freq.Cycles(16*time.Millisecond))
-	case "cra":
-		hw, err = defense.NewCRA(100_000)
-	case "armor":
-		hw, err = defense.NewARMOR(10_000, 8, m.Freq.Cycles(32*time.Millisecond))
-	case "none", "2x-refresh", "anvil", "anvil-light", "anvil-heavy":
-	default:
-		return fmt.Errorf("unknown defense %q", defName)
-	}
-	if err != nil {
-		return err
-	}
-	if hw != nil {
-		hw.Attach(m.Mem.DRAM)
-	}
-
-	core := 0
-	var hammer interface {
-		Victim() attack.Target
-		AggressorAccesses() uint64
-	}
-	if attackKind != "" {
-		opts := attack.Options{
-			Mapper:     m.Mem.DRAM.Mapper(),
-			LLC:        cache.SandyBridgeConfig().Levels[2],
-			AutoTarget: true,
-			BufferMB:   16,
-			Contiguous: true,
-		}
-		var prog machine.Program
-		switch attackKind {
-		case "single-flush":
-			a, err := attack.NewSingleSidedFlush(opts)
-			if err != nil {
-				return err
-			}
-			prog, hammer = a, a
-		case "double-flush":
-			a, err := attack.NewDoubleSidedFlush(opts)
-			if err != nil {
-				return err
-			}
-			prog, hammer = a, a
-		case "clflush-free":
-			a, err := attack.NewClflushFree(opts)
-			if err != nil {
-				return err
-			}
-			prog, hammer = a, a
-		default:
-			return fmt.Errorf("unknown attack %q", attackKind)
-		}
-		if _, err := m.Spawn(core, prog); err != nil {
-			return err
-		}
-		v := hammer.Victim()
-		if err := m.Mem.DRAM.PlantWeakRow(v.Bank, v.VictimRow, weakUnits); err != nil {
-			return err
-		}
+	m := in.Machine
+	if in.Hammer != nil {
+		v := in.Hammer.Victim()
 		fmt.Printf("attack %s targeting bank %d victim row %d (weakest cell: %.0f units)\n",
 			attackKind, v.Bank, v.VictimRow, weakUnits)
-		core++
-	}
-	for _, p := range profs {
-		if _, err := m.Spawn(core, workload.MustNew(p)); err != nil {
-			return err
-		}
-		core++
 	}
 
-	var det *anvil.Detector
-	switch defName {
-	case "anvil", "anvil-light", "anvil-heavy":
-		params := anvil.Baseline()
-		if defName == "anvil-light" {
-			params = anvil.Light()
-		} else if defName == "anvil-heavy" {
-			params = anvil.Heavy()
-		}
-		det, err = anvil.New(m, params, nil)
-		if err != nil {
-			return err
-		}
-		det.Start()
-	}
-
-	if err := m.Run(m.Freq.Cycles(duration)); err != nil && err != machine.ErrAllDone {
+	if err := in.RunFor(duration); err != nil {
 		return err
 	}
 
@@ -197,11 +106,11 @@ func run(attackKind, workloads, defName string, duration time.Duration, weakUnit
 		fmt.Printf("bit flips: %d (first: %v at %.1f ms)\n", len(flips), flips[0],
 			m.Freq.Millis(flips[0].Time))
 	}
-	if hammer != nil {
-		fmt.Printf("attack issued %d aggressor row accesses\n", hammer.AggressorAccesses())
+	if in.Hammer != nil {
+		fmt.Printf("attack issued %d aggressor row accesses\n", in.Hammer.AggressorAccesses())
 	}
-	if det != nil {
-		st := det.Stats()
+	if in.Detector != nil {
+		st := in.Detector.Stats()
 		fmt.Printf("ANVIL: %d/%d stage-1 windows crossed, %d detections, %d selective refreshes\n",
 			st.Stage1Crossings, st.Stage1Windows, len(st.Detections), st.Refreshes)
 		if len(st.Detections) > 0 {
@@ -209,10 +118,18 @@ func run(attackKind, workloads, defName string, duration time.Duration, weakUnit
 				m.Freq.Millis(st.Detections[0].Time), st.Detections[0].Aggressors)
 		}
 	}
-	if hw != nil {
-		fmt.Printf("%s issued %d victim refreshes\n", hw.Name(), hw.Refreshes())
+	if in.HW != nil {
+		fmt.Printf("%s issued %d victim refreshes\n", in.HW.Name(), in.HW.Refreshes())
 	}
 	return nil
+}
+
+func defenseNames() string {
+	var out []string
+	for _, k := range scenario.DefenseKinds() {
+		out = append(out, string(k))
+	}
+	return strings.Join(out, ", ")
 }
 
 func names() string {
@@ -222,5 +139,3 @@ func names() string {
 	}
 	return strings.Join(out, ", ")
 }
-
-var _ = sim.Cycles(0)

@@ -1,16 +1,25 @@
 // Command tables regenerates every table and figure of the ANVIL paper's
-// evaluation on the simulated machine and prints them in order.
+// evaluation on the simulated machine by enumerating the experiment
+// registry, and prints them in order.
 //
 // Usage:
 //
-//	tables [-quick] [-only table1,table3,...]
+//	tables [-quick] [-seed N] [-parallel N] [-only table1,table3,...]
+//	tables -json [-out results.json]
+//	tables -list
+//	tables -validate results.json
 //
-// -quick shrinks run lengths (useful for smoke tests); -only selects a
-// comma-separated subset of: table1, figure1, section21, section22, table3,
-// table4, figure3, figure4, table5, section45, defenses.
+// -quick shrinks run lengths (useful for smoke tests); -seed shards the
+// stochastic machine components; -parallel caps the worker pool of
+// multi-replicate experiments (parallelism changes wall-clock time only,
+// never a reported number); -only selects a comma-separated subset of the
+// registered experiment names (see -list). -json emits the structured
+// results as a single JSON document on stdout (or to -out), a
+// trend-trackable artifact that -validate checks for completeness.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -18,126 +27,137 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/experiments"
+	_ "repro/internal/experiments" // registers every table and figure
+	"repro/internal/scenario"
 )
+
+// document is the -json artifact: the run's inputs and every experiment's
+// structured result, in registry order.
+type document struct {
+	Quick   bool          `json:"quick"`
+	Seed    uint64        `json:"seed"`
+	Results []namedResult `json:"results"`
+}
+
+type namedResult struct {
+	Name    string            `json:"name"`
+	Data    json.RawMessage   `json:"data"`
+	Metrics []scenario.Metric `json:"metrics,omitempty"`
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tables: ")
-	quick := flag.Bool("quick", false, "shrink experiment durations")
-	only := flag.String("only", "", "comma-separated subset of experiments to run")
+	var (
+		quick    = flag.Bool("quick", false, "shrink experiment durations")
+		seed     = flag.Uint64("seed", 0, "root seed for machine-level randomness (0 = calibrated defaults)")
+		parallel = flag.Int("parallel", 0, "worker pool size for multi-replicate experiments (0 = GOMAXPROCS)")
+		only     = flag.String("only", "", "comma-separated subset of experiments to run")
+		jsonOut  = flag.Bool("json", false, "emit structured results as JSON instead of text tables")
+		outPath  = flag.String("out", "", "write the JSON document to this file (implies -json)")
+		list     = flag.Bool("list", false, "list registered experiments and exit")
+		validate = flag.String("validate", "", "validate a -json artifact against the registry and exit")
+	)
 	flag.Parse()
 
-	cfg := experiments.Config{Quick: *quick}
+	if *list {
+		for _, e := range scenario.Experiments() {
+			fmt.Printf("%-14s %s\n", e.Name, e.Desc)
+		}
+		return
+	}
+	if *validate != "" {
+		if err := validateArtifact(*validate); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: valid, covers all %d registered experiments\n", *validate, len(scenario.Names()))
+		return
+	}
+
+	cfg := scenario.Config{Quick: *quick, Seed: *seed, Parallel: *parallel}
 	selected := map[string]bool{}
 	for _, s := range strings.Split(*only, ",") {
 		if s = strings.TrimSpace(s); s != "" {
+			if _, ok := scenario.Find(s); !ok {
+				log.Fatalf("unknown experiment %q (known: %s)", s, strings.Join(scenario.Names(), ", "))
+			}
 			selected[s] = true
 		}
 	}
 	want := func(name string) bool { return len(selected) == 0 || selected[name] }
+	asJSON := *jsonOut || *outPath != ""
 
-	type step struct {
-		name string
-		run  func() (string, error)
-	}
-	steps := []step{
-		{"table1", func() (string, error) {
-			rows, err := experiments.Table1(cfg)
-			if err != nil {
-				return "", err
-			}
-			return experiments.RenderTable1(rows), nil
-		}},
-		{"figure1", func() (string, error) {
-			r, err := experiments.Figure1(cfg)
-			if err != nil {
-				return "", err
-			}
-			return fmt.Sprintf("Figure 1: access patterns\n"+
-				"  (a) CLFLUSH-based: %d ops/iteration, %d DRAM row accesses\n"+
-				"  (b) CLFLUSH-free:  %d loads/iteration, %d LLC misses (aggressor always misses: %v)\n",
-				r.FlushSeqLen, r.FlushMissesPerIter, r.FreeSeqLen, r.FreeMissesPerIter, r.AggressorAlwaysMisses), nil
-		}},
-		{"section21", func() (string, error) {
-			r, err := experiments.Section21(cfg)
-			if err != nil {
-				return "", err
-			}
-			return fmt.Sprintf("Section 2.1: double refresh rate bypass\n"+
-				"  refresh window %v, flipped: %v, time to first flip %.1f ms\n",
-				r.RefreshWindow, r.Flipped, float64(r.TimeToFlip)/float64(time.Millisecond)), nil
-		}},
-		{"section22", func() (string, error) {
-			scores, err := experiments.Section22(cfg)
-			if err != nil {
-				return "", err
-			}
-			return experiments.RenderSection22(scores), nil
-		}},
-		{"table3", func() (string, error) {
-			rows, err := experiments.Table3(cfg)
-			if err != nil {
-				return "", err
-			}
-			return experiments.RenderTable3(rows), nil
-		}},
-		{"table4", func() (string, error) {
-			rows, err := experiments.Table4(cfg)
-			if err != nil {
-				return "", err
-			}
-			return experiments.RenderTable4(rows), nil
-		}},
-		{"figure3", func() (string, error) {
-			rows, err := experiments.Figure3(cfg)
-			if err != nil {
-				return "", err
-			}
-			return experiments.RenderFigure3(rows), nil
-		}},
-		{"figure4", func() (string, error) {
-			rows, err := experiments.Figure4(cfg)
-			if err != nil {
-				return "", err
-			}
-			return experiments.RenderFigure4(rows), nil
-		}},
-		{"table5", func() (string, error) {
-			rows, err := experiments.Table5(cfg)
-			if err != nil {
-				return "", err
-			}
-			return experiments.RenderTable5(rows), nil
-		}},
-		{"section45", func() (string, error) {
-			rows, err := experiments.Section45(cfg)
-			if err != nil {
-				return "", err
-			}
-			return experiments.RenderSection45(rows), nil
-		}},
-		{"defenses", func() (string, error) {
-			rows, err := experiments.Defenses(cfg)
-			if err != nil {
-				return "", err
-			}
-			return experiments.RenderDefenses(rows), nil
-		}},
-	}
-
-	for _, s := range steps {
-		if !want(s.name) {
+	doc := document{Quick: *quick, Seed: *seed}
+	for _, e := range scenario.Experiments() {
+		if !want(e.Name) {
 			continue
 		}
 		start := time.Now() //lint:allow detrand host-side CLI timing how long table regeneration takes
-		out, err := s.run()
+		res, err := e.Run(cfg)
 		if err != nil {
-			log.Printf("%s failed: %v", s.name, err)
-			os.Exit(1)
+			log.Fatalf("%s failed: %v", e.Name, err)
 		}
-		fmt.Println(out)
 		//lint:allow detrand host-side CLI timing how long table regeneration takes
-		fmt.Printf("  [%s regenerated in %.1fs]\n\n", s.name, time.Since(start).Seconds())
+		elapsed := time.Since(start).Seconds()
+		if asJSON {
+			data, err := json.Marshal(res)
+			if err != nil {
+				log.Fatalf("%s: marshal: %v", e.Name, err)
+			}
+			nr := namedResult{Name: e.Name, Data: data}
+			if m, ok := res.(scenario.Metricer); ok {
+				nr.Metrics = m.Metrics()
+			}
+			doc.Results = append(doc.Results, nr)
+			fmt.Fprintf(os.Stderr, "tables: %s regenerated in %.1fs\n", e.Name, elapsed)
+		} else {
+			fmt.Println(res.Render())
+			fmt.Printf("  [%s regenerated in %.1fs]\n\n", e.Name, elapsed)
+		}
 	}
+
+	if asJSON {
+		enc, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc = append(enc, '\n')
+		if *outPath != "" {
+			if err := os.WriteFile(*outPath, enc, 0o644); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			os.Stdout.Write(enc)
+		}
+	}
+}
+
+// validateArtifact checks that a -json document parses and covers every
+// registered experiment with non-empty data.
+func validateArtifact(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc document
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	have := map[string]bool{}
+	for _, r := range doc.Results {
+		if len(r.Data) == 0 || string(r.Data) == "null" {
+			return fmt.Errorf("%s: experiment %q has empty data", path, r.Name)
+		}
+		have[r.Name] = true
+	}
+	var missing []string
+	for _, name := range scenario.Names() {
+		if !have[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("%s: missing experiments: %s", path, strings.Join(missing, ", "))
+	}
+	return nil
 }

@@ -2,68 +2,40 @@
 // (flips at 110K double-sided accesses), a flat-out attack evades nothing
 // but a slowed attack evades ANVIL-baseline's stage-1 threshold — until the
 // detector is retuned. ANVIL-heavy (2ms windows) catches the fast attack;
-// ANVIL-light (halved threshold) catches the slow one.
+// ANVIL-light (halved threshold) catches the slow one. Each configuration
+// is one declarative scenario.Spec.
 package main
 
 import (
-	"errors"
 	"fmt"
 	"log"
 	"time"
 
-	"repro/internal/anvil"
-	"repro/internal/attack"
-	"repro/internal/cache"
-	"repro/internal/machine"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
-// scenario runs a double-sided CLFLUSH attack (optionally slowed by delay)
-// on half-threshold DRAM under the given detector parameters.
-func scenario(name string, delay sim.Cycles, params *anvil.Params) {
-	cfg := machine.DefaultConfig()
-	cfg.Cores = 1
-	cfg.Memory.DRAM.Disturb = cfg.Memory.DRAM.Disturb.Scaled(0.5) // future, weaker DRAM
-	m, err := machine.New(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	a, err := attack.NewDoubleSidedFlush(attack.Options{
-		Mapper:     m.Mem.DRAM.Mapper(),
-		LLC:        cache.SandyBridgeConfig().Levels[2],
-		AutoTarget: true,
-		BufferMB:   16,
-		Contiguous: true,
-		ExtraDelay: delay,
+// run hammers half-threshold DRAM with a double-sided CLFLUSH attack
+// (optionally slowed by delay) under the given defense.
+func run(name string, delay sim.Cycles, def scenario.DefenseKind) {
+	in, err := scenario.Run(scenario.Spec{
+		DisturbScale: 0.5, // future, weaker DRAM: flips at ~110K accesses
+		Attack: &scenario.Attack{
+			Kind:       scenario.DoubleSidedFlush,
+			WeakUnits:  200_000,
+			ExtraDelay: delay,
+		},
+		Defense:  def,
+		Duration: 256 * time.Millisecond,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := m.Spawn(0, a); err != nil {
-		log.Fatal(err)
-	}
-	v := a.Victim()
-	// Flips at ~110K accesses.
-	if err := m.Mem.DRAM.PlantWeakRow(v.Bank, v.VictimRow, 200_000); err != nil {
-		log.Fatal(err)
-	}
-
-	var det *anvil.Detector
-	if params != nil {
-		det, err = anvil.New(m, *params, nil)
-		if err != nil {
-			log.Fatal(err)
-		}
-		det.Start()
-	}
-	if err := m.Run(m.Freq.Cycles(256 * time.Millisecond)); err != nil && !errors.Is(err, machine.ErrAllDone) {
-		log.Fatal(err)
-	}
-	flips := m.Mem.DRAM.FlipCount()
+	flips := in.Machine.Mem.DRAM.FlipCount()
 	detections := 0
 	crossing := 0.0
-	if det != nil {
-		st := det.Stats()
+	if in.Detector != nil {
+		st := in.Detector.Stats()
 		detections = len(st.Detections)
 		crossing = st.CrossingFraction()
 	}
@@ -73,19 +45,18 @@ func scenario(name string, delay sim.Cycles, params *anvil.Params) {
 
 func main() {
 	log.SetFlags(0)
-	base, light, heavy := anvil.Baseline(), anvil.Light(), anvil.Heavy()
 	// A delay of ~1200 cycles/iteration spreads ~110K iterations across a
 	// full 64ms refresh period, holding the miss rate under 20K/6ms.
 	const slow = 1200
 
 	fmt.Println("future DRAM: weakest cells flip at 110K double-sided accesses")
 	fmt.Println()
-	scenario("fast attack, no protection", 0, nil)
-	scenario("slow attack, no protection", slow, nil)
+	run("fast attack, no protection", 0, scenario.NoDefense)
+	run("slow attack, no protection", slow, scenario.NoDefense)
 	fmt.Println()
-	scenario("fast attack vs ANVIL-baseline", 0, &base)
-	scenario("slow attack vs ANVIL-baseline (evades stage 1!)", slow, &base)
+	run("fast attack vs ANVIL-baseline", 0, scenario.ANVILBaseline)
+	run("slow attack vs ANVIL-baseline (evades stage 1!)", slow, scenario.ANVILBaseline)
 	fmt.Println()
-	scenario("fast attack vs ANVIL-heavy (tc=ts=2ms)", 0, &heavy)
-	scenario("slow attack vs ANVIL-light (threshold 10K)", slow, &light)
+	run("fast attack vs ANVIL-heavy (tc=ts=2ms)", 0, scenario.ANVILHeavy)
+	run("slow attack vs ANVIL-light (threshold 10K)", slow, scenario.ANVILLight)
 }

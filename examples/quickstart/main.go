@@ -1,29 +1,26 @@
-// Quickstart: build the paper's machine, launch a double-sided CLFLUSH
-// rowhammer against a weak DRAM row, and watch ANVIL detect the attack and
-// selectively refresh the victim — zero bit flips, while an unprotected run
-// of the same attack flips in ~17 simulated milliseconds.
+// Quickstart: declare the paper's double-sided CLFLUSH rowhammer as a
+// scenario.Spec, run it unprotected and then with ANVIL enabled, and watch
+// the detector selectively refresh the victim — zero bit flips, while the
+// unprotected run of the same attack flips in ~17 simulated milliseconds.
 package main
 
 import (
-	"errors"
 	"fmt"
 	"log"
 	"time"
 
 	"repro/internal/anvil"
-	"repro/internal/attack"
-	"repro/internal/cache"
-	"repro/internal/machine"
+	"repro/internal/scenario"
 )
 
 func main() {
 	log.SetFlags(0)
 	fmt.Println("== run 1: unprotected machine ==")
-	flips, _ := run(false)
+	flips, _ := run(scenario.NoDefense)
 	fmt.Printf("bit flips without ANVIL: %d\n\n", flips)
 
 	fmt.Println("== run 2: same attack, ANVIL enabled ==")
-	flips, det := run(true)
+	flips, det := run(scenario.ANVILBaseline)
 	fmt.Printf("bit flips with ANVIL: %d\n", flips)
 	st := det.Stats()
 	fmt.Printf("detections: %d, selective refreshes: %d\n", len(st.Detections), st.Refreshes)
@@ -33,55 +30,29 @@ func main() {
 	}
 }
 
-func run(protect bool) (int, *anvil.Detector) {
-	// The paper's machine: 2.6 GHz Sandy Bridge caches over 4 GB DDR3.
-	cfg := machine.DefaultConfig()
-	cfg.Cores = 1
-	m, err := machine.New(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// The attack only needs loads, CLFLUSH, pagemap and the reverse-
-	// engineered address maps.
-	hammer, err := attack.NewDoubleSidedFlush(attack.Options{
-		Mapper:     m.Mem.DRAM.Mapper(),
-		LLC:        cache.SandyBridgeConfig().Levels[2],
-		AutoTarget: true,
-		BufferMB:   16,
-		Contiguous: true,
+func run(def scenario.DefenseKind) (int, *anvil.Detector) {
+	// The paper's machine (2.6 GHz Sandy Bridge caches over 4 GB DDR3) with
+	// the attack on core 0 and the victim row planted as weak as the paper's
+	// module: it flips after 400K disturbance units (≈220K double-sided
+	// accesses).
+	in, err := scenario.Build(scenario.Spec{
+		Attack:  &scenario.Attack{Kind: scenario.DoubleSidedFlush},
+		Defense: def,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := m.Spawn(0, hammer); err != nil {
-		log.Fatal(err)
-	}
-
-	// Make the victim row as weak as the paper's module: it flips after
-	// 400K disturbance units (≈220K double-sided accesses).
-	v := hammer.Victim()
-	if err := m.Mem.DRAM.PlantWeakRow(v.Bank, v.VictimRow, 400_000); err != nil {
-		log.Fatal(err)
-	}
+	v := in.Hammer.Victim()
 	fmt.Printf("hammering rows %d/%d around victim row %d of bank %d\n",
 		v.VictimRow-1, v.VictimRow+1, v.VictimRow, v.Bank)
 
-	var det *anvil.Detector
-	if protect {
-		det, err = anvil.New(m, anvil.Baseline(), nil)
-		if err != nil {
-			log.Fatal(err)
-		}
-		det.Start()
-	}
-
 	// Three refresh windows of simulated time.
-	if err := m.Run(m.Freq.Cycles(192 * time.Millisecond)); err != nil && !errors.Is(err, machine.ErrAllDone) {
+	if err := in.RunFor(192 * time.Millisecond); err != nil {
 		log.Fatal(err)
 	}
+	m := in.Machine
 	for _, f := range m.Mem.DRAM.Flips() {
 		fmt.Printf("  %v (t=%.1f ms)\n", f, m.Freq.Millis(f.Time))
 	}
-	return m.Mem.DRAM.FlipCount(), det
+	return m.Mem.DRAM.FlipCount(), in.Detector
 }

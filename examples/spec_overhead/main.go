@@ -1,46 +1,31 @@
 // SPEC-like workloads under ANVIL vs the doubled-refresh-rate mitigation
 // (Figure 3): run a fixed amount of work per benchmark under each
 // configuration and compare completion times against the unprotected 64 ms
-// machine.
+// machine. Each configuration is one scenario.Spec; the unprotected /
+// ANVIL / 2x-refresh triples for the five benchmarks fan out across
+// scenario.RunMany's worker pool.
 package main
 
 import (
-	"errors"
 	"fmt"
 	"log"
 
-	"repro/internal/anvil"
-	"repro/internal/machine"
 	"repro/internal/report"
-	"repro/internal/workload"
+	"repro/internal/scenario"
 )
 
-// measure runs prof for `ops` memory operations and returns the completion
-// time in cycles.
-func measure(prof workload.Profile, ops uint64, withANVIL bool, refreshScale int) uint64 {
-	cfg := machine.DefaultConfig()
-	cfg.Cores = 1
-	if refreshScale > 1 {
-		cfg.Memory.DRAM.Timing = cfg.Memory.DRAM.Timing.WithRefreshScale(refreshScale)
-	}
-	m, err := machine.New(cfg)
+// measure runs one benchmark for `ops` memory operations under a defense
+// and returns the completion time in cycles.
+func measure(name string, ops uint64, def scenario.DefenseKind, refreshScale int) (uint64, error) {
+	in, err := scenario.Run(scenario.Spec{
+		Workloads:    []scenario.Workload{{Name: name, OpLimit: ops}},
+		Defense:      def,
+		RefreshScale: refreshScale,
+	})
 	if err != nil {
-		log.Fatal(err)
+		return 0, err
 	}
-	if _, err := m.Spawn(0, workload.MustNew(prof).WithOpLimit(ops)); err != nil {
-		log.Fatal(err)
-	}
-	if withANVIL {
-		det, err := anvil.New(m, anvil.Baseline(), nil)
-		if err != nil {
-			log.Fatal(err)
-		}
-		det.Start()
-	}
-	if err := m.Run(1 << 62); err != nil && !errors.Is(err, machine.ErrAllDone) {
-		log.Fatal(err)
-	}
-	return uint64(m.Cores[0].Now)
+	return uint64(in.Machine.Cores[0].Now), nil
 }
 
 func main() {
@@ -50,20 +35,36 @@ func main() {
 	names := []string{"mcf", "libquantum", "gcc", "h264ref", "sjeng"}
 	const ops = 400_000
 
+	type ratios struct{ anvil, dbl float64 }
+	rows, err := scenario.RunMany(len(names), 0, func(rep int) (ratios, error) {
+		base, err := measure(names[rep], ops, scenario.NoDefense, 1)
+		if err != nil {
+			return ratios{}, err
+		}
+		anv, err := measure(names[rep], ops, scenario.ANVILBaseline, 1)
+		if err != nil {
+			return ratios{}, err
+		}
+		dbl, err := measure(names[rep], ops, scenario.NoDefense, 2)
+		if err != nil {
+			return ratios{}, err
+		}
+		return ratios{
+			anvil: float64(anv) / float64(base),
+			dbl:   float64(dbl) / float64(base),
+		}, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	t := report.New("Normalized execution time (1.0 = unprotected, 64ms refresh)",
 		"benchmark", "ANVIL", "2x refresh")
 	var sumA, sumD float64
-	for _, name := range names {
-		prof, ok := workload.ByName(name)
-		if !ok {
-			log.Fatalf("unknown profile %s", name)
-		}
-		base := measure(prof, ops, false, 1)
-		anv := float64(measure(prof, ops, true, 1)) / float64(base)
-		dbl := float64(measure(prof, ops, false, 2)) / float64(base)
-		sumA += anv
-		sumD += dbl
-		t.AddStrings(name, fmt.Sprintf("%.4f", anv), fmt.Sprintf("%.4f", dbl))
+	for i, r := range rows {
+		sumA += r.anvil
+		sumD += r.dbl
+		t.AddStrings(names[i], fmt.Sprintf("%.4f", r.anvil), fmt.Sprintf("%.4f", r.dbl))
 	}
 	t.AddStrings("mean",
 		fmt.Sprintf("%.4f", sumA/float64(len(names))),

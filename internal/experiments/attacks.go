@@ -2,49 +2,54 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/attack"
 	"repro/internal/cache"
-	"repro/internal/machine"
 	"repro/internal/report"
+	"repro/internal/scenario"
 )
 
 // Table1Row is one row of Table 1: rowhammer attack characteristics.
 type Table1Row struct {
-	Technique   string
-	MinAccesses uint64        // DRAM row accesses to the first bit flip
-	TimeToFlip  time.Duration // time until the first bit flip
-	Flipped     bool
+	Technique   string        `json:"technique"`
+	MinAccesses uint64        `json:"min_accesses"` // DRAM row accesses to the first bit flip
+	TimeToFlip  time.Duration `json:"time_to_flip"` // time until the first bit flip
+	Flipped     bool          `json:"flipped"`
+}
+
+// table1Run measures one attack on the unprotected 64 ms machine.
+func table1Run(kind scenario.AttackKind, seed uint64) (Table1Row, error) {
+	in, err := scenario.Build(scenario.Spec{
+		Cores:  1,
+		Seed:   seed,
+		Attack: &scenario.Attack{Kind: kind},
+	})
+	if err != nil {
+		return Table1Row{}, fmt.Errorf("table1 %s: %w", kind.Label(), err)
+	}
+	ft, ok, err := in.RunUntilFlip(192 * time.Millisecond)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	return Table1Row{
+		Technique:   kind.Label(),
+		MinAccesses: in.Hammer.AggressorAccesses(),
+		TimeToFlip:  ft,
+		Flipped:     ok,
+	}, nil
 }
 
 // Table1 measures the three attacks on the unprotected 64 ms machine:
 // single-sided CLFLUSH (paper: 400K / 58 ms), double-sided CLFLUSH
-// (220K / 15 ms), double-sided CLFLUSH-free (220K / 45 ms).
+// (220K / 15 ms), double-sided CLFLUSH-free (220K / 45 ms). The three
+// attacks run as independent replicates across the configured worker pool.
 func Table1(cfg Config) ([]Table1Row, error) {
-	kinds := []hammerKind{singleSidedFlush, doubleSidedFlush, clflushFree}
-	var rows []Table1Row
-	for _, k := range kinds {
-		m, err := newMachine(1, nil)
-		if err != nil {
-			return nil, err
-		}
-		h, err := spawnHammer(m, k, attackOptions(m))
-		if err != nil {
-			return nil, fmt.Errorf("table1 %s: %w", k, err)
-		}
-		ft, ok, err := runUntilFlip(m, 192*time.Millisecond)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, Table1Row{
-			Technique:   k.String(),
-			MinAccesses: h.AggressorAccesses(),
-			TimeToFlip:  ft,
-			Flipped:     ok,
-		})
-	}
-	return rows, nil
+	kinds := scenario.AttackKinds()
+	return scenario.RunMany(len(kinds), cfg.Workers(), func(rep int) (Table1Row, error) {
+		return table1Run(kinds[rep], cfg.Seed)
+	})
 }
 
 // RenderTable1 formats Table 1.
@@ -61,74 +66,170 @@ func RenderTable1(rows []Table1Row) string {
 	return t.String()
 }
 
+// Table1SweepRow aggregates one technique's Table 1 quantities over a
+// multi-seed sweep.
+type Table1SweepRow struct {
+	Technique        string        `json:"technique"`
+	Seeds            int           `json:"seeds"`
+	Flips            int           `json:"flips"` // replicates that flipped
+	MinAccessesMin   uint64        `json:"min_accesses_min"`
+	MinAccessesMed   uint64        `json:"min_accesses_median"`
+	TimeToFlipMin    time.Duration `json:"time_to_flip_min"`
+	TimeToFlipMedian time.Duration `json:"time_to_flip_median"`
+}
+
+// table1SweepSeeds is the replicate count of the multi-seed sweep: the full
+// sweep matches the paper-style 16-seed min/median protocol.
+func table1SweepSeeds(cfg Config) int {
+	if cfg.Quick {
+		return 8
+	}
+	return 16
+}
+
+// Table1Sweep reruns Table 1 under distinct machine seeds — each replicate
+// owns its machine and a split RNG root — and reports min/median per
+// technique. The replicates fan out across the configured worker pool;
+// parallelism changes wall-clock time only, never a reported number.
+func Table1Sweep(cfg Config) ([]Table1SweepRow, error) {
+	seeds := table1SweepSeeds(cfg)
+	reps, err := scenario.RunMany(seeds, cfg.Workers(), func(rep int) ([]Table1Row, error) {
+		return Table1(Config{
+			Quick:    cfg.Quick,
+			Seed:     scenario.ReplicateSeed(cfg.Seed, rep),
+			Parallel: 1, // the sweep level owns the parallelism
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Table1SweepRow
+	for i, kind := range scenario.AttackKinds() {
+		row := Table1SweepRow{Technique: kind.Label(), Seeds: seeds}
+		var accesses []uint64
+		var times []time.Duration
+		for _, rows := range reps {
+			r := rows[i]
+			if !r.Flipped {
+				continue
+			}
+			row.Flips++
+			accesses = append(accesses, r.MinAccesses)
+			times = append(times, r.TimeToFlip)
+		}
+		if row.Flips > 0 {
+			sort.Slice(accesses, func(a, b int) bool { return accesses[a] < accesses[b] })
+			sort.Slice(times, func(a, b int) bool { return times[a] < times[b] })
+			row.MinAccessesMin = accesses[0]
+			row.MinAccessesMed = accesses[len(accesses)/2]
+			row.TimeToFlipMin = times[0]
+			row.TimeToFlipMedian = times[len(times)/2]
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderTable1Sweep formats the sweep aggregate.
+func RenderTable1Sweep(rows []Table1SweepRow) string {
+	t := report.New("Table 1 (multi-seed): min/median over seed-sharded replicates",
+		"Hammer Technique", "Flips", "Accesses (min/med)", "Time to Flip (min/med)")
+	for _, r := range rows {
+		t.AddStrings(r.Technique,
+			fmt.Sprintf("%d/%d", r.Flips, r.Seeds),
+			fmt.Sprintf("%dK/%dK", r.MinAccessesMin/1000, r.MinAccessesMed/1000),
+			fmt.Sprintf("%.1f/%.1f ms",
+				float64(r.TimeToFlipMin)/float64(time.Millisecond),
+				float64(r.TimeToFlipMedian)/float64(time.Millisecond)))
+	}
+	return t.String()
+}
+
 // Figure1Result characterises the two access sequences of Figure 1.
 type Figure1Result struct {
 	// FlushSeqLen and FlushMisses: sequence (a) — every aggressor access
 	// misses by construction (CLFLUSH).
-	FlushSeqLen, FlushMissesPerIter int
+	FlushSeqLen        int `json:"flush_seq_len"`
+	FlushMissesPerIter int `json:"flush_misses_per_iter"`
 	// FreeSeqLen and FreeMisses: sequence (b) — the eviction pattern's
 	// steady state.
-	FreeSeqLen, FreeMissesPerIter int
+	FreeSeqLen        int `json:"free_seq_len"`
+	FreeMissesPerIter int `json:"free_misses_per_iter"`
 	// AggressorAlwaysMisses verifies the property the attack depends on.
-	AggressorAlwaysMisses bool
+	AggressorAlwaysMisses bool `json:"aggressor_always_misses"`
 }
 
 // Figure1 reproduces the figure's content as measurable properties: the
 // CLFLUSH-free pattern reaches DRAM on the aggressor every iteration with
 // only a constant number of extra misses.
 func Figure1(cfg Config) (Figure1Result, error) {
-	m, err := newMachine(1, nil)
+	in, err := scenario.Build(scenario.Spec{
+		Cores:  1,
+		Seed:   cfg.Seed,
+		Attack: &scenario.Attack{Kind: scenario.ClflushFree},
+	})
 	if err != nil {
 		return Figure1Result{}, err
 	}
-	a, err := attack.NewClflushFree(attackOptions(m))
-	if err != nil {
-		return Figure1Result{}, err
-	}
-	if _, err := m.Spawn(0, a); err != nil {
-		return Figure1Result{}, err
+	a, ok := in.Hammer.(*attack.ClflushFree)
+	if !ok {
+		return Figure1Result{}, fmt.Errorf("figure1: unexpected hammer type %T", in.Hammer)
 	}
 	x, _ := a.Patterns()
-	res := Figure1Result{
+	return Figure1Result{
 		FlushSeqLen:           4, // load A0, CLFLUSH A0, load A1, CLFLUSH A1
 		FlushMissesPerIter:    2,
 		FreeSeqLen:            len(x.Seq),
 		FreeMissesPerIter:     x.MissesPerIteration,
 		AggressorAlwaysMisses: x.AggressorSlot >= 0,
-	}
-	return res, nil
+	}, nil
+}
+
+// RenderFigure1 formats the access-pattern properties.
+func RenderFigure1(r Figure1Result) string {
+	return fmt.Sprintf("Figure 1: access patterns\n"+
+		"  (a) CLFLUSH-based: %d ops/iteration, %d DRAM row accesses\n"+
+		"  (b) CLFLUSH-free:  %d loads/iteration, %d LLC misses (aggressor always misses: %v)\n",
+		r.FlushSeqLen, r.FlushMissesPerIter, r.FreeSeqLen, r.FreeMissesPerIter, r.AggressorAlwaysMisses)
 }
 
 // Section21Result reports the double-refresh bypass experiment.
 type Section21Result struct {
-	RefreshWindow time.Duration
-	TimeToFlip    time.Duration
-	Flipped       bool
+	RefreshWindow time.Duration `json:"refresh_window"`
+	TimeToFlip    time.Duration `json:"time_to_flip"`
+	Flipped       bool          `json:"flipped"`
 }
 
 // Section21 demonstrates §2.1: the deployed "double refresh rate"
 // mitigation (32 ms window) is beaten by double-sided CLFLUSH hammering.
 func Section21(cfg Config) (Section21Result, error) {
-	m, err := newMachine(1, func(c *machine.Config) {
-		c.Memory.DRAM.Timing = c.Memory.DRAM.Timing.WithRefreshScale(2)
+	in, err := scenario.Build(scenario.Spec{
+		Cores:        1,
+		Seed:         cfg.Seed,
+		RefreshScale: 2,
+		Attack:       &scenario.Attack{Kind: scenario.DoubleSidedFlush},
 	})
 	if err != nil {
 		return Section21Result{}, err
 	}
-	if _, err := spawnHammer(m, doubleSidedFlush, attackOptions(m)); err != nil {
-		return Section21Result{}, err
-	}
-	ft, ok, err := runUntilFlip(m, 96*time.Millisecond)
+	ft, ok, err := in.RunUntilFlip(96 * time.Millisecond)
 	if err != nil {
 		return Section21Result{}, err
 	}
 	return Section21Result{RefreshWindow: 32 * time.Millisecond, TimeToFlip: ft, Flipped: ok}, nil
 }
 
+// RenderSection21 formats the bypass result.
+func RenderSection21(r Section21Result) string {
+	return fmt.Sprintf("Section 2.1: double refresh rate bypass\n"+
+		"  refresh window %v, flipped: %v, time to first flip %.1f ms\n",
+		r.RefreshWindow, r.Flipped, float64(r.TimeToFlip)/float64(time.Millisecond))
+}
+
 // Section22 reruns the replacement-policy inference of §2.2 and returns the
 // ranked scores (Bit-PLRU must come first on the Sandy Bridge model).
 func Section22(cfg Config) ([]attack.PolicyScore, error) {
-	m, err := newMachine(1, nil)
+	in, err := scenario.Build(scenario.Spec{Cores: 1, Seed: cfg.Seed})
 	if err != nil {
 		return nil, err
 	}
@@ -136,7 +237,7 @@ func Section22(cfg Config) ([]attack.PolicyScore, error) {
 	if cfg.Quick {
 		rounds = 30
 	}
-	return attack.RunInference(m, attackOptions(m), rounds, cache.AllPolicies())
+	return attack.RunInference(in.Machine, in.AttackOptions(), rounds, cache.AllPolicies())
 }
 
 // RenderSection22 formats the inference ranking.

@@ -4,88 +4,121 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/anvil"
-	"repro/internal/machine"
 	"repro/internal/report"
+	"repro/internal/scenario"
 )
 
 // Table3Row is one row of Table 3: rowhammer detection results.
 type Table3Row struct {
-	Benchmark        string
-	Load             string // "Heavy" or "Light"
-	AvgTimeToDetect  time.Duration
-	RefreshesPer64ms float64
-	TotalBitFlips    int
-	Detections       int
+	Benchmark        string        `json:"benchmark"`
+	Load             string        `json:"load"` // "Heavy" or "Light"
+	AvgTimeToDetect  time.Duration `json:"avg_time_to_detect"`
+	RefreshesPer64ms float64       `json:"refreshes_per_64ms"`
+	TotalBitFlips    int           `json:"total_bit_flips"`
+	Detections       int           `json:"detections"`
+}
+
+// table3Trial is one independent detection run: a fresh machine with the
+// attack (and, under heavy load, the background trio) under ANVIL-baseline.
+type table3Trial struct {
+	Detected   bool
+	DetectTime time.Duration
+	Refreshes  uint64
+	BitFlips   int
+	Detections int
+}
+
+func table3RunTrial(kind scenario.AttackKind, heavy bool, seed uint64, dur time.Duration) (table3Trial, error) {
+	spec := scenario.Spec{
+		Cores:   4,
+		Seed:    seed,
+		Attack:  &scenario.Attack{Kind: kind},
+		Defense: scenario.ANVILBaseline,
+	}
+	if heavy {
+		spec.Workloads = heavyLoadNames()
+	}
+	in, err := scenario.Build(spec)
+	if err != nil {
+		return table3Trial{}, err
+	}
+	if err := in.RunFor(dur); err != nil {
+		return table3Trial{}, err
+	}
+	st := in.Detector.Stats()
+	out := table3Trial{
+		Refreshes:  st.Refreshes,
+		BitFlips:   in.Machine.Mem.DRAM.FlipCount(),
+		Detections: len(st.Detections),
+	}
+	if len(st.Detections) > 0 {
+		out.Detected = true
+		out.DetectTime = in.Machine.Freq.Duration(st.Detections[0].Time)
+	}
+	return out, nil
 }
 
 // Table3 runs both attacks under light and heavy load with ANVIL-baseline
 // and reports detection latency, selective-refresh rate and (zero) flips.
+// All (scenario, trial) pairs run as independent replicates across the
+// worker pool; rows merge in the paper's order regardless of parallelism.
 func Table3(cfg Config) ([]Table3Row, error) {
-	type scenario struct {
-		kind  hammerKind
+	type point struct {
+		kind  scenario.AttackKind
 		heavy bool
 	}
-	scenarios := []scenario{
-		{doubleSidedFlush, true},
-		{doubleSidedFlush, false},
-		{clflushFree, true},
-		{clflushFree, false},
+	points := []point{
+		{scenario.DoubleSidedFlush, true},
+		{scenario.DoubleSidedFlush, false},
+		{scenario.ClflushFree, true},
+		{scenario.ClflushFree, false},
 	}
-	dur := cfg.scaleDur(512 * time.Millisecond)
+	dur := cfg.ScaleDur(512 * time.Millisecond)
 	trials := 4
 	if cfg.Quick {
 		trials = 2
 	}
-	var rows []Table3Row
-	for _, sc := range scenarios {
-		row := Table3Row{
-			Benchmark: sc.kind.String(),
-			Load:      map[bool]string{true: "Heavy", false: "Light"}[sc.heavy],
+	// Detection latency: independent trials, each starting the attack on a
+	// fresh machine (varying the machine seed) and measuring the time until
+	// the first detection — the "time to detect" of Table 3, which includes
+	// identifying and refreshing the victims. Trial 0 runs the full horizon
+	// and also supplies the refresh-rate and flip columns; later trials are
+	// latency-only.
+	runs, err := scenario.RunMany(len(points)*trials, cfg.Workers(), func(rep int) (table3Trial, error) {
+		p := points[rep/trials]
+		trial := rep % trials
+		seed := cfg.Seed + uint64(trial)*7919
+		trialDur := dur
+		if trial > 0 {
+			trialDur = 96 * time.Millisecond
 		}
-		// Detection latency: independent trials, each starting the attack
-		// on a fresh machine (varying the sampler seed) and measuring the
-		// time until the first detection — the "time to detect" of Table 3,
-		// which includes identifying and refreshing the victims.
+		return table3RunTrial(p.kind, p.heavy, seed, trialDur)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table3Row
+	for i, p := range points {
+		row := Table3Row{
+			Benchmark: p.kind.Label(),
+			Load:      "Light",
+		}
+		if p.heavy {
+			row.Load = "Heavy"
+		}
 		var sumDetect time.Duration
 		detected := 0
 		for trial := 0; trial < trials; trial++ {
-			seed := cfg.Seed + uint64(trial)*7919
-			m, err := newMachine(4, func(c *machine.Config) {
-				c.Memory.PMUSeed += seed
-			})
-			if err != nil {
-				return nil, err
-			}
-			if _, err := spawnHammer(m, sc.kind, attackOptions(m)); err != nil {
-				return nil, err
-			}
-			if sc.heavy {
-				if err := spawnTrio(m); err != nil {
-					return nil, err
-				}
-			}
-			det, err := startANVIL(m, anvil.Baseline())
-			if err != nil {
-				return nil, err
-			}
-			trialDur := dur
-			if trial > 0 {
-				trialDur = 96 * time.Millisecond // latency-only trials
-			}
-			if err := runFor(m, trialDur); err != nil {
-				return nil, err
-			}
-			st := det.Stats()
-			if len(st.Detections) > 0 {
-				sumDetect += m.Freq.Duration(st.Detections[0].Time)
+			t := runs[i*trials+trial]
+			if t.Detected {
+				sumDetect += t.DetectTime
 				detected++
 			}
 			if trial == 0 {
 				epochs := float64(dur) / float64(64*time.Millisecond)
-				row.RefreshesPer64ms = float64(st.Refreshes) / epochs
-				row.TotalBitFlips = m.Mem.DRAM.FlipCount()
-				row.Detections = len(st.Detections)
+				row.RefreshesPer64ms = float64(t.Refreshes) / epochs
+				row.TotalBitFlips = t.BitFlips
+				row.Detections = t.Detections
 			}
 		}
 		if detected > 0 {

@@ -1,179 +1,30 @@
 // Package experiments contains one harness per table and figure of the
-// paper's evaluation, each returning structured rows that cmd/tables and
-// the top-level benchmarks render. DESIGN.md carries the experiment index.
+// paper's evaluation. Each harness declares its runs as scenario.Specs,
+// returns structured rows, and registers itself (registry.go) under the
+// name cmd/tables and the top-level benchmarks enumerate. DESIGN.md carries
+// the experiment index.
 package experiments
 
 import (
-	"errors"
-	"fmt"
-	"time"
-
-	"repro/internal/anvil"
-	"repro/internal/attack"
-	"repro/internal/cache"
-	"repro/internal/machine"
-	"repro/internal/sim"
+	"repro/internal/scenario"
 	"repro/internal/workload"
 )
 
-// Config tunes experiment durations. Quick mode shrinks run lengths so the
-// whole suite fits in unit-test budgets; full mode matches the paper's
-// measurement horizons.
-type Config struct {
-	Quick bool
-	// Seed perturbs the stochastic components (workload address streams
-	// keep their profile seeds; this seeds machine-level randomness).
-	Seed uint64
-}
-
-// scaleDur shrinks full-length durations in quick mode.
-func (c Config) scaleDur(full time.Duration) time.Duration {
-	if c.Quick {
-		return full / 4
-	}
-	return full
-}
-
-// scaleOps shrinks fixed-work op counts in quick mode.
-func (c Config) scaleOps(full uint64) uint64 {
-	if c.Quick {
-		return full / 4
-	}
-	return full
-}
-
-// newMachine builds the paper's machine with the given core count.
-func newMachine(cores int, mutate func(*machine.Config)) (*machine.Machine, error) {
-	cfg := machine.DefaultConfig()
-	cfg.Cores = cores
-	if mutate != nil {
-		mutate(&cfg)
-	}
-	return machine.New(cfg)
-}
-
-// attackOptions are the standard attacker capabilities on machine m.
-func attackOptions(m *machine.Machine) attack.Options {
-	return attack.Options{
-		Mapper:     m.Mem.DRAM.Mapper(),
-		LLC:        cache.SandyBridgeConfig().Levels[2],
-		AutoTarget: true,
-		BufferMB:   16,
-		Contiguous: true,
-	}
-}
-
-// runFor advances the machine by d, tolerating early completion.
-func runFor(m *machine.Machine, d time.Duration) error {
-	err := m.Run(m.Time() + m.Freq.Cycles(d))
-	if err != nil && !errors.Is(err, machine.ErrAllDone) {
-		return err
-	}
-	return nil
-}
-
-// runUntilFlip drives the machine in fine slices until the first bit flip
-// or the deadline. It returns the flip time and whether a flip occurred.
-func runUntilFlip(m *machine.Machine, deadline time.Duration) (time.Duration, bool, error) {
-	slice := m.Freq.Cycles(250 * time.Microsecond)
-	end := m.Freq.Cycles(deadline)
-	for now := sim.Cycles(0); now < end; now += slice {
-		err := m.Run(now + slice)
-		if err != nil && !errors.Is(err, machine.ErrAllDone) {
-			return 0, false, err
-		}
-		if m.Mem.DRAM.FlipCount() > 0 {
-			return m.Freq.Duration(m.Mem.DRAM.Flips()[0].Time), true, nil
-		}
-		if errors.Is(err, machine.ErrAllDone) {
-			break
-		}
-	}
-	return 0, false, nil
-}
+// Config tunes experiment durations, seeding and parallelism. It is the
+// scenario registry's config: see scenario.Config for the field semantics.
+type Config = scenario.Config
 
 // victimThreshold is the paper module's weakest-cell disturbance limit.
-const victimThreshold = 400_000
+const victimThreshold = scenario.DefaultWeakUnits
 
-// hammerKind selects an attack implementation.
-type hammerKind int
-
-const (
-	singleSidedFlush hammerKind = iota
-	doubleSidedFlush
-	clflushFree
-)
-
-func (k hammerKind) String() string {
-	switch k {
-	case singleSidedFlush:
-		return "Single-Sided with CLFLUSH"
-	case doubleSidedFlush:
-		return "Double-Sided with CLFLUSH"
-	case clflushFree:
-		return "Double-Sided without CLFLUSH"
-	default:
-		return fmt.Sprintf("hammerKind(%d)", int(k))
+// heavyLoadNames are the cores-1..3 background programs of the heavy-load
+// experiments (mcf, libquantum, omnetpp).
+func heavyLoadNames() []scenario.Workload {
+	var out []scenario.Workload
+	for _, prof := range workload.HeavyLoadTrio() {
+		out = append(out, scenario.Workload{Name: prof.Name})
 	}
-}
-
-// hammerProgram instantiates the attack on machine m.
-type hammerProgram interface {
-	machine.Program
-	Victim() attack.Target
-	AggressorAccesses() uint64
-	Iterations() uint64
-}
-
-func newHammer(k hammerKind, opts attack.Options) (hammerProgram, error) {
-	switch k {
-	case singleSidedFlush:
-		return attack.NewSingleSidedFlush(opts)
-	case doubleSidedFlush:
-		return attack.NewDoubleSidedFlush(opts)
-	case clflushFree:
-		return attack.NewClflushFree(opts)
-	default:
-		return nil, fmt.Errorf("experiments: unknown hammer kind %d", k)
-	}
-}
-
-// spawnHammer spawns the attack on core 0 and plants the paper-grade weak
-// victim row it targets.
-func spawnHammer(m *machine.Machine, k hammerKind, opts attack.Options) (hammerProgram, error) {
-	h, err := newHammer(k, opts)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := m.Spawn(0, h); err != nil {
-		return nil, err
-	}
-	v := h.Victim()
-	if err := m.Mem.DRAM.PlantWeakRow(v.Bank, v.VictimRow, victimThreshold); err != nil {
-		return nil, err
-	}
-	return h, nil
-}
-
-// startANVIL attaches and starts a detector.
-func startANVIL(m *machine.Machine, p anvil.Params) (*anvil.Detector, error) {
-	d, err := anvil.New(m, p, nil)
-	if err != nil {
-		return nil, err
-	}
-	d.Start()
-	return d, nil
-}
-
-// spawnTrio puts the heavy-load background (mcf, libquantum, omnetpp) on
-// cores 1..3.
-func spawnTrio(m *machine.Machine) error {
-	for i, prof := range workload.HeavyLoadTrio() {
-		if _, err := m.Spawn(i+1, workload.MustNew(prof)); err != nil {
-			return err
-		}
-	}
-	return nil
+	return out
 }
 
 // fixedWorkOps picks the op budget for a fixed-work benchmark run, sized so

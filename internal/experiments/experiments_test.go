@@ -194,13 +194,40 @@ func TestDefenseComparison(t *testing.T) {
 
 func TestConfigScaling(t *testing.T) {
 	full := Config{}
-	if full.scaleDur(4*time.Second) != 4*time.Second {
+	if full.ScaleDur(4*time.Second) != 4*time.Second {
 		t.Error("full duration scaled")
 	}
-	if quick.scaleDur(4*time.Second) != time.Second {
+	if quick.ScaleDur(4*time.Second) != time.Second {
 		t.Error("quick duration not scaled")
 	}
-	if quick.scaleOps(400) != 100 {
+	if quick.ScaleOps(400) != 100 {
 		t.Error("quick ops not scaled")
+	}
+}
+
+func TestTable1SweepAggregates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second experiment")
+	}
+	rows, err := Table1Sweep(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Flips != r.Seeds {
+			t.Errorf("%s: %d/%d replicates flipped", r.Technique, r.Flips, r.Seeds)
+		}
+		if r.MinAccessesMin > r.MinAccessesMed {
+			t.Errorf("%s: min %d > median %d", r.Technique, r.MinAccessesMin, r.MinAccessesMed)
+		}
+		if r.TimeToFlipMin > r.TimeToFlipMedian {
+			t.Errorf("%s: min %v > median %v", r.Technique, r.TimeToFlipMin, r.TimeToFlipMedian)
+		}
+	}
+	if out := RenderTable1Sweep(rows); !strings.Contains(out, "multi-seed") {
+		t.Errorf("render:\n%s", out)
 	}
 }

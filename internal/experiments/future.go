@@ -4,10 +4,8 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/anvil"
-	"repro/internal/defense"
-	"repro/internal/machine"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -15,63 +13,53 @@ import (
 // (flips at half the disturbance) attacked fast or slow, against the
 // matching ANVIL configuration.
 type Section45Row struct {
-	Scenario   string
-	Config     string
-	Detections int
-	BitFlips   int
+	Scenario   string `json:"scenario"`
+	Config     string `json:"config"`
+	Detections int    `json:"detections"`
+	BitFlips   int    `json:"bit_flips"`
 }
 
 // Section45 evaluates ANVIL-heavy against a flat-out attack and ANVIL-light
 // against an attack spread across the whole refresh period, both on DRAM
 // that flips at 110K double-sided accesses (200K units).
 func Section45(cfg Config) ([]Section45Row, error) {
-	dur := cfg.scaleDur(512 * time.Millisecond)
-	type scenario struct {
-		name   string
-		delay  sim.Cycles
-		params anvil.Params
-		pname  string
+	dur := cfg.ScaleDur(512 * time.Millisecond)
+	type point struct {
+		name    string
+		delay   sim.Cycles
+		defense scenario.DefenseKind
+		pname   string
 	}
-	scenarios := []scenario{
-		{"fast attack (110K accesses in ~7ms)", 0, anvil.Heavy(), "ANVIL-heavy"},
-		{"slow attack (110K accesses over 64ms)", 1200, anvil.Light(), "ANVIL-light"},
+	points := []point{
+		{"fast attack (110K accesses in ~7ms)", 0, scenario.ANVILHeavy, "ANVIL-heavy"},
+		{"slow attack (110K accesses over 64ms)", 1200, scenario.ANVILLight, "ANVIL-light"},
 	}
-	var rows []Section45Row
-	for _, sc := range scenarios {
-		m, err := newMachine(1, func(c *machine.Config) {
-			c.Memory.DRAM.Disturb = c.Memory.DRAM.Disturb.Scaled(0.5)
+	return scenario.RunMany(len(points), cfg.Workers(), func(rep int) (Section45Row, error) {
+		p := points[rep]
+		in, err := scenario.Build(scenario.Spec{
+			Cores:        1,
+			Seed:         cfg.Seed,
+			DisturbScale: 0.5,
+			Attack: &scenario.Attack{
+				Kind:       scenario.DoubleSidedFlush,
+				WeakUnits:  victimThreshold / 2,
+				ExtraDelay: p.delay,
+			},
+			Defense: p.defense,
 		})
 		if err != nil {
-			return nil, err
+			return Section45Row{}, err
 		}
-		opts := attackOptions(m)
-		opts.ExtraDelay = sc.delay
-		h, err := newHammer(doubleSidedFlush, opts)
-		if err != nil {
-			return nil, err
+		if err := in.RunFor(dur); err != nil {
+			return Section45Row{}, err
 		}
-		if _, err := m.Spawn(0, h); err != nil {
-			return nil, err
-		}
-		v := h.Victim()
-		if err := m.Mem.DRAM.PlantWeakRow(v.Bank, v.VictimRow, victimThreshold/2); err != nil {
-			return nil, err
-		}
-		det, err := startANVIL(m, sc.params)
-		if err != nil {
-			return nil, err
-		}
-		if err := runFor(m, dur); err != nil {
-			return nil, err
-		}
-		rows = append(rows, Section45Row{
-			Scenario:   sc.name,
-			Config:     sc.pname,
-			Detections: len(det.Stats().Detections),
-			BitFlips:   m.Mem.DRAM.FlipCount(),
-		})
-	}
-	return rows, nil
+		return Section45Row{
+			Scenario:   p.name,
+			Config:     p.pname,
+			Detections: len(in.Detector.Stats().Detections),
+			BitFlips:   in.Machine.Mem.DRAM.FlipCount(),
+		}, nil
+	})
 }
 
 // RenderSection45 formats the robustness results.
@@ -86,80 +74,57 @@ func RenderSection45(rows []Section45Row) string {
 
 // DefenseRow compares one mitigation against the CLFLUSH attack.
 type DefenseRow struct {
-	Defense    string
-	BitFlips   int
-	Refreshes  uint64
-	Deployable string // "existing systems" vs "new hardware"
+	Defense    string `json:"defense"`
+	BitFlips   int    `json:"bit_flips"`
+	Refreshes  uint64 `json:"refreshes"`
+	Deployable string `json:"deployable"` // "existing systems" vs "new hardware"
 }
 
 // Defenses is the extension comparison (§5 landscape): every mitigation in
 // the repository against the double-sided CLFLUSH attack on the standard
-// module.
+// module, one independent replicate per defense.
 func Defenses(cfg Config) ([]DefenseRow, error) {
-	dur := cfg.scaleDur(256 * time.Millisecond)
+	dur := cfg.ScaleDur(256 * time.Millisecond)
 	type entry struct {
-		name       string
-		refresh    int // refresh-rate scale
-		mk         func() (defense.Defense, error)
-		useANVIL   *anvil.Params
-		deployable string
+		name         string
+		refreshScale int
+		defense      scenario.DefenseKind
+		deployable   string
 	}
-	baseline := anvil.Baseline()
 	entries := []entry{
-		{"none (64ms refresh)", 1, nil, nil, "-"},
-		{"2x refresh (32ms)", 2, nil, nil, "existing systems"},
-		{"ANVIL-baseline", 1, nil, &baseline, "existing systems"},
-		{"PARA p=0.001", 1, func() (defense.Defense, error) { return defense.NewPARA(0.001, 0xdead) }, nil, "new hardware"},
-		{"TRR MAC=50K/16ms", 1, func() (defense.Defense, error) {
-			return defense.NewTRR(50_000, sim.DefaultFreq.Cycles(16*time.Millisecond))
-		}, nil, "new hardware"},
-		{"pTRR 1%/64-entry", 1, func() (defense.Defense, error) {
-			return defense.NewPTRR(0.01, 64, 500, 0x717)
-		}, nil, "shipping (Xeon)"},
-		{"CRA counters 100K", 1, func() (defense.Defense, error) { return defense.NewCRA(100_000) }, nil, "new hardware"},
-		{"ARMOR hot-row buffer", 1, func() (defense.Defense, error) {
-			return defense.NewARMOR(10_000, 8, sim.DefaultFreq.Cycles(32*time.Millisecond))
-		}, nil, "new hardware"},
+		{"none (64ms refresh)", 1, scenario.NoDefense, "-"},
+		{"2x refresh (32ms)", 2, scenario.NoDefense, "existing systems"},
+		{"ANVIL-baseline", 1, scenario.ANVILBaseline, "existing systems"},
+		{"PARA p=0.001", 1, scenario.PARA, "new hardware"},
+		{"TRR MAC=50K/16ms", 1, scenario.TRR, "new hardware"},
+		{"pTRR 1%/64-entry", 1, scenario.PTRR, "shipping (Xeon)"},
+		{"CRA counters 100K", 1, scenario.CRA, "new hardware"},
+		{"ARMOR hot-row buffer", 1, scenario.ARMOR, "new hardware"},
 	}
-	var rows []DefenseRow
-	for _, e := range entries {
-		m, err := newMachine(1, func(c *machine.Config) {
-			if e.refresh > 1 {
-				c.Memory.DRAM.Timing = c.Memory.DRAM.Timing.WithRefreshScale(e.refresh)
-			}
+	return scenario.RunMany(len(entries), cfg.Workers(), func(rep int) (DefenseRow, error) {
+		e := entries[rep]
+		in, err := scenario.Build(scenario.Spec{
+			Cores:        1,
+			Seed:         cfg.Seed,
+			RefreshScale: e.refreshScale,
+			Attack:       &scenario.Attack{Kind: scenario.DoubleSidedFlush},
+			Defense:      e.defense,
 		})
 		if err != nil {
-			return nil, err
+			return DefenseRow{}, err
 		}
-		var d defense.Defense
-		if e.mk != nil {
-			if d, err = e.mk(); err != nil {
-				return nil, err
-			}
-			d.Attach(m.Mem.DRAM)
+		if err := in.RunFor(dur); err != nil {
+			return DefenseRow{}, err
 		}
-		if _, err := spawnHammer(m, doubleSidedFlush, attackOptions(m)); err != nil {
-			return nil, err
+		row := DefenseRow{Defense: e.name, BitFlips: in.Machine.Mem.DRAM.FlipCount(), Deployable: e.deployable}
+		if in.HW != nil {
+			row.Refreshes = in.HW.Refreshes()
 		}
-		var det *anvil.Detector
-		if e.useANVIL != nil {
-			if det, err = startANVIL(m, *e.useANVIL); err != nil {
-				return nil, err
-			}
+		if in.Detector != nil {
+			row.Refreshes = in.Detector.Stats().Refreshes
 		}
-		if err := runFor(m, dur); err != nil {
-			return nil, err
-		}
-		row := DefenseRow{Defense: e.name, BitFlips: m.Mem.DRAM.FlipCount(), Deployable: e.deployable}
-		if d != nil {
-			row.Refreshes = d.Refreshes()
-		}
-		if det != nil {
-			row.Refreshes = det.Stats().Refreshes
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // RenderDefenses formats the comparison.

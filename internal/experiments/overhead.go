@@ -1,56 +1,53 @@
 package experiments
 
 import (
-	"errors"
 	"fmt"
 	"time"
 
-	"repro/internal/anvil"
-	"repro/internal/machine"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/workload"
 )
 
 // Table4Row is one row of Table 4: false-positive refresh rates.
 type Table4Row struct {
-	Benchmark       string
-	RefreshesPerSec float64
-	CrossingFrac    float64 // fraction of stage-1 windows crossed (§4.3)
+	Benchmark       string  `json:"benchmark"`
+	RefreshesPerSec float64 `json:"refreshes_per_sec"`
+	CrossingFrac    float64 `json:"crossing_frac"` // fraction of stage-1 windows crossed (§4.3)
 }
 
 // Table4 runs each SPEC profile alone under ANVIL-baseline and reports the
 // rate of superfluous selective refreshes (every detection is a false
 // positive: no attack is running).
 func Table4(cfg Config) ([]Table4Row, error) {
-	return falsePositives(cfg, anvil.Baseline(), workload.SPEC2006())
+	return falsePositives(cfg, scenario.ANVILBaseline, workload.SPEC2006())
 }
 
-func falsePositives(cfg Config, params anvil.Params, profs []workload.Profile) ([]Table4Row, error) {
-	dur := cfg.scaleDur(4 * time.Second)
-	var rows []Table4Row
-	for _, prof := range profs {
-		m, err := newMachine(1, nil)
+// falsePositives measures benign-workload refresh rates under the given
+// ANVIL configuration, one independent replicate per profile.
+func falsePositives(cfg Config, def scenario.DefenseKind, profs []workload.Profile) ([]Table4Row, error) {
+	dur := cfg.ScaleDur(4 * time.Second)
+	return scenario.RunMany(len(profs), cfg.Workers(), func(rep int) (Table4Row, error) {
+		prof := profs[rep]
+		in, err := scenario.Build(scenario.Spec{
+			Cores:     1,
+			Seed:      cfg.Seed,
+			Workloads: []scenario.Workload{{Name: prof.Name}},
+			Defense:   def,
+		})
 		if err != nil {
-			return nil, err
+			return Table4Row{}, err
 		}
-		if _, err := m.Spawn(0, workload.MustNew(prof)); err != nil {
-			return nil, err
+		if err := in.RunFor(dur); err != nil {
+			return Table4Row{}, err
 		}
-		det, err := startANVIL(m, params)
-		if err != nil {
-			return nil, err
-		}
-		if err := runFor(m, dur); err != nil {
-			return nil, err
-		}
-		st := det.Stats()
-		rows = append(rows, Table4Row{
+		st := in.Detector.Stats()
+		return Table4Row{
 			Benchmark:       prof.Name,
 			RefreshesPerSec: float64(st.Refreshes) / dur.Seconds(),
 			CrossingFrac:    st.CrossingFraction(),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderTable4 formats Table 4.
@@ -68,63 +65,56 @@ func RenderTable4(rows []Table4Row) string {
 // Figure3Row is one bar pair of Figure 3: normalized execution time under
 // ANVIL and under doubled refresh rate, relative to the unprotected system.
 type Figure3Row struct {
-	Benchmark     string
-	ANVIL         float64
-	DoubleRefresh float64
+	Benchmark     string  `json:"benchmark"`
+	ANVIL         float64 `json:"anvil"`
+	DoubleRefresh float64 `json:"double_refresh"`
 }
 
 // measureRuntime runs the profile for a fixed amount of work and returns
 // the completion time in cycles.
-func measureRuntime(prof workload.Profile, ops uint64, params *anvil.Params, refreshScale int) (time.Duration, error) {
-	m, err := newMachine(1, func(c *machine.Config) {
-		if refreshScale > 1 {
-			c.Memory.DRAM.Timing = c.Memory.DRAM.Timing.WithRefreshScale(refreshScale)
-		}
+func measureRuntime(cfg Config, prof workload.Profile, ops uint64, def scenario.DefenseKind, refreshScale int) (time.Duration, error) {
+	in, err := scenario.Build(scenario.Spec{
+		Cores:        1,
+		Seed:         cfg.Seed,
+		RefreshScale: refreshScale,
+		Workloads:    []scenario.Workload{{Name: prof.Name, OpLimit: ops}},
+		Defense:      def,
 	})
 	if err != nil {
 		return 0, err
 	}
-	prog := workload.MustNew(prof).WithOpLimit(ops)
-	if _, err := m.Spawn(0, prog); err != nil {
+	if err := in.RunToCompletion(); err != nil {
 		return 0, err
 	}
-	if params != nil {
-		if _, err := startANVIL(m, *params); err != nil {
-			return 0, err
-		}
-	}
-	if err := m.Run(1 << 62); err != nil && !errors.Is(err, machine.ErrAllDone) {
-		return 0, err
-	}
-	return m.Freq.Duration(m.Cores[0].Now), nil
+	return in.Machine.Freq.Duration(in.Machine.Cores[0].Now), nil
 }
 
 // Figure3 measures, for every SPEC profile, the fixed-work slowdown of
 // (a) running under ANVIL-baseline and (b) doubling the DRAM refresh rate.
+// Each profile's three runs form one independent replicate.
 func Figure3(cfg Config) ([]Figure3Row, error) {
-	var rows []Figure3Row
-	base := anvil.Baseline()
-	for _, prof := range workload.SPEC2006() {
-		ops := cfg.scaleOps(fixedWorkOps(prof))
-		t0, err := measureRuntime(prof, ops, nil, 1)
+	profs := workload.SPEC2006()
+	return scenario.RunMany(len(profs), cfg.Workers(), func(rep int) (Figure3Row, error) {
+		prof := profs[rep]
+		ops := cfg.ScaleOps(fixedWorkOps(prof))
+		t0, err := measureRuntime(cfg, prof, ops, scenario.NoDefense, 1)
 		if err != nil {
-			return nil, err
+			return Figure3Row{}, err
 		}
-		t1, err := measureRuntime(prof, ops, &base, 1)
+		t1, err := measureRuntime(cfg, prof, ops, scenario.ANVILBaseline, 1)
 		if err != nil {
-			return nil, err
+			return Figure3Row{}, err
 		}
-		t2, err := measureRuntime(prof, ops, nil, 2)
+		t2, err := measureRuntime(cfg, prof, ops, scenario.NoDefense, 2)
 		if err != nil {
-			return nil, err
+			return Figure3Row{}, err
 		}
-		rows = append(rows, Figure3Row{
+		return Figure3Row{
 			Benchmark:     prof.Name,
 			ANVIL:         float64(t1) / float64(t0),
 			DoubleRefresh: float64(t2) / float64(t0),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // Figure3Summary returns the average and peak ANVIL overheads (the paper's
@@ -176,43 +166,42 @@ func figure4Benchmarks() []workload.Profile {
 // Figure4Row is one benchmark's normalized execution time under the three
 // ANVIL configurations.
 type Figure4Row struct {
-	Benchmark string
-	Baseline  float64
-	Light     float64
-	Heavy     float64
+	Benchmark string  `json:"benchmark"`
+	Baseline  float64 `json:"baseline"`
+	Light     float64 `json:"light"`
+	Heavy     float64 `json:"heavy"`
 }
 
 // Figure4 measures the sensitivity of execution overhead to the detector
-// configuration (§4.5).
+// configuration (§4.5), one independent replicate per benchmark.
 func Figure4(cfg Config) ([]Figure4Row, error) {
-	var rows []Figure4Row
-	b, l, h := anvil.Baseline(), anvil.Light(), anvil.Heavy()
-	for _, prof := range figure4Benchmarks() {
-		ops := cfg.scaleOps(fixedWorkOps(prof))
-		t0, err := measureRuntime(prof, ops, nil, 1)
+	profs := figure4Benchmarks()
+	return scenario.RunMany(len(profs), cfg.Workers(), func(rep int) (Figure4Row, error) {
+		prof := profs[rep]
+		ops := cfg.ScaleOps(fixedWorkOps(prof))
+		t0, err := measureRuntime(cfg, prof, ops, scenario.NoDefense, 1)
 		if err != nil {
-			return nil, err
+			return Figure4Row{}, err
 		}
-		norm := func(p anvil.Params) (float64, error) {
-			t, err := measureRuntime(prof, ops, &p, 1)
+		norm := func(def scenario.DefenseKind) (float64, error) {
+			t, err := measureRuntime(cfg, prof, ops, def, 1)
 			if err != nil {
 				return 0, err
 			}
 			return float64(t) / float64(t0), nil
 		}
 		row := Figure4Row{Benchmark: prof.Name}
-		if row.Baseline, err = norm(b); err != nil {
-			return nil, err
+		if row.Baseline, err = norm(scenario.ANVILBaseline); err != nil {
+			return Figure4Row{}, err
 		}
-		if row.Light, err = norm(l); err != nil {
-			return nil, err
+		if row.Light, err = norm(scenario.ANVILLight); err != nil {
+			return Figure4Row{}, err
 		}
-		if row.Heavy, err = norm(h); err != nil {
-			return nil, err
+		if row.Heavy, err = norm(scenario.ANVILHeavy); err != nil {
+			return Figure4Row{}, err
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // RenderFigure4 formats the figure's series.
@@ -235,19 +224,19 @@ func RenderFigure4(rows []Figure4Row) string {
 // Table5Row is one benchmark's false-positive rates under ANVIL-light and
 // ANVIL-heavy.
 type Table5Row struct {
-	Benchmark string
-	Light     float64
-	Heavy     float64
+	Benchmark string  `json:"benchmark"`
+	Light     float64 `json:"light"`
+	Heavy     float64 `json:"heavy"`
 }
 
 // Table5 measures false-positive refresh rates for the light and heavy
 // configurations over the Figure 4 benchmarks.
 func Table5(cfg Config) ([]Table5Row, error) {
-	light, err := falsePositives(cfg, anvil.Light(), figure4Benchmarks())
+	light, err := falsePositives(cfg, scenario.ANVILLight, figure4Benchmarks())
 	if err != nil {
 		return nil, err
 	}
-	heavy, err := falsePositives(cfg, anvil.Heavy(), figure4Benchmarks())
+	heavy, err := falsePositives(cfg, scenario.ANVILHeavy, figure4Benchmarks())
 	if err != nil {
 		return nil, err
 	}

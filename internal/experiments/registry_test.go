@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+func TestRegistryCoversEveryExperiment(t *testing.T) {
+	want := []string{"table1", "table1-sweep", "figure1", "section21",
+		"section22", "table3", "table4", "figure3", "figure4", "table5",
+		"section45", "defenses"}
+	got := scenario.Names()
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("registry order:\n got %v\nwant %v", got, want)
+	}
+	for _, e := range scenario.Experiments() {
+		if e.Desc == "" {
+			t.Errorf("%s: empty description", e.Name)
+		}
+		if found, ok := scenario.Find(e.Name); !ok || found.Name != e.Name {
+			t.Errorf("Find(%q) = %v, %v", e.Name, found.Name, ok)
+		}
+	}
+	if _, ok := scenario.Find("table9"); ok {
+		t.Error("Find invented an experiment")
+	}
+}
+
+// TestRegistryRunsEveryExperimentByName exercises the acceptance criterion
+// that every registered experiment is runnable by name from go test. Short
+// mode keeps to the sub-second experiments; the full run covers all of them.
+func TestRegistryRunsEveryExperimentByName(t *testing.T) {
+	cheap := map[string]bool{"table1": true, "figure1": true, "section21": true, "section22": true}
+	for _, e := range scenario.Experiments() {
+		if testing.Short() && !cheap[e.Name] {
+			continue
+		}
+		t.Run(e.Name, func(t *testing.T) {
+			res, err := e.Run(Config{Quick: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out := res.Render(); out == "" {
+				t.Error("empty rendering")
+			}
+			raw, err := json.Marshal(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(raw) == 0 || string(raw) == "null" {
+				t.Errorf("empty JSON artifact: %s", raw)
+			}
+			if m, ok := res.(scenario.Metricer); ok {
+				for _, met := range m.Metrics() {
+					if met.Name == "" {
+						t.Error("metric with empty name")
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,48 @@
+package report
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenRendering pins the exact text rendering of a representative
+// experiment table, bar chart and CSV export against a golden file, so
+// formatting drift in the paper-table output is a visible diff rather than
+// a silent change. Regenerate with: go test ./internal/report -run Golden -update
+func TestGoldenRendering(t *testing.T) {
+	tbl := New("Table 1: hammering techniques on the simulated machine",
+		"Technique", "Min accesses", "Time to flip")
+	tbl.AddStrings("Single-Sided with CLFLUSH", "442K", "21.5 ms")
+	tbl.AddStrings("Double-Sided with CLFLUSH", "221K", "11.2 ms")
+	tbl.Add("Double-Sided without CLFLUSH", 221_184, 17.93)
+
+	bars := NewBars("Normalized execution time (ANVIL)", 1.0, 1.05, 30)
+	bars.Add("mcf", 1.0312)
+	bars.Add("libquantum", 1.0488)
+	bars.Add("sjeng", 1.0021)
+	bars.Add("off-scale", 1.20)
+
+	got := tbl.String() + "\n" + bars.String() + "\n" + tbl.CSV()
+
+	golden := filepath.Join("testdata", "table.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("rendering drifted from %s:\n--- got ---\n%s\n--- want ---\n%s",
+			golden, got, want)
+	}
+}

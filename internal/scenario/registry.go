@@ -1,0 +1,122 @@
+package scenario
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// Config tunes experiment runs. Quick mode shrinks run lengths so the whole
+// suite fits in unit-test budgets; full mode matches the paper's measurement
+// horizons. Seed shards the stochastic machine components (see Spec.Seed);
+// Parallel caps the worker pool used by multi-replicate experiments.
+type Config struct {
+	Quick bool
+	// Seed is the base of every replicate seed an experiment derives (via
+	// ReplicateSeed) and the Spec.Seed of single-run experiments.
+	Seed uint64
+	// Parallel is the worker count for RunMany-based experiments; zero or
+	// negative means GOMAXPROCS. Parallelism never changes results — only
+	// wall-clock time.
+	Parallel int
+}
+
+// ScaleDur shrinks full-length durations in quick mode.
+func (c Config) ScaleDur(full time.Duration) time.Duration {
+	if c.Quick {
+		return full / 4
+	}
+	return full
+}
+
+// ScaleOps shrinks fixed-work op counts in quick mode.
+func (c Config) ScaleOps(full uint64) uint64 {
+	if c.Quick {
+		return full / 4
+	}
+	return full
+}
+
+// Workers resolves Parallel to a concrete worker count.
+func (c Config) Workers() int {
+	if c.Parallel > 0 {
+		return c.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Metric is one headline number of an experiment, named after the paper's
+// quantities (ms-to-flip, refreshes/sec, normalized execution time, ...).
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Result is what an experiment returns: a structured value that marshals to
+// JSON (for trend tracking) and renders to the paper's text table.
+type Result interface {
+	Render() string
+}
+
+// Metricer is optionally implemented by Results that expose headline
+// metrics. The slice order must be deterministic.
+type Metricer interface {
+	Metrics() []Metric
+}
+
+// Experiment is one registered table or figure of the evaluation.
+type Experiment struct {
+	// Name is the registry key (table1, figure3, section45, ...).
+	Name string
+	// Desc is a one-line description for listings.
+	Desc string
+	// Run regenerates the experiment.
+	Run func(Config) (Result, error)
+}
+
+// The registry. Registration happens from init functions (a single
+// goroutine, before main); lookups afterwards are read-only, so no locking
+// is needed. Order is registration order — a deliberate slice, never map
+// iteration, so every enumeration is deterministic.
+var (
+	registry      []Experiment
+	registryIndex = map[string]int{}
+)
+
+// Register adds an experiment to the registry. It panics on a duplicate or
+// invalid registration: both are programming errors in an init function.
+func Register(e Experiment) {
+	if e.Name == "" || e.Run == nil {
+		panic("scenario: Register needs a name and a Run function")
+	}
+	if _, dup := registryIndex[e.Name]; dup {
+		panic(fmt.Sprintf("scenario: experiment %q registered twice", e.Name))
+	}
+	registryIndex[e.Name] = len(registry)
+	registry = append(registry, e)
+}
+
+// Experiments returns the registered experiments in registration order.
+func Experiments() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Find returns the experiment registered under name.
+func Find(name string) (Experiment, bool) {
+	i, ok := registryIndex[name]
+	if !ok {
+		return Experiment{}, false
+	}
+	return registry[i], true
+}
+
+// Names returns the registered experiment names in registration order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.Name
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestRunManyPreservesReplicateOrder(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 32} {
+		got, err := RunMany(16, workers, func(rep int) (int, error) {
+			return rep * rep, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		want := make([]int, 16)
+		for i := range want {
+			want[i] = i * i
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: got %v", workers, got)
+		}
+	}
+}
+
+func TestRunManyZeroReplicates(t *testing.T) {
+	got, err := RunMany(0, 4, func(rep int) (string, error) {
+		t.Error("fn called for n=0")
+		return "", nil
+	})
+	if err != nil || len(got) != 0 {
+		t.Errorf("got %v, %v", got, err)
+	}
+}
+
+func TestRunManyFirstErrorInReplicateOrder(t *testing.T) {
+	// Replicates 3 and 7 fail; regardless of scheduling, the reported
+	// error must be replicate 3's, and every replicate must still run.
+	for _, workers := range []int{1, 8} {
+		ran := make([]bool, 10)
+		_, err := RunMany(10, workers, func(rep int) (int, error) {
+			ran[rep] = true
+			if rep == 3 || rep == 7 {
+				return 0, fmt.Errorf("boom %d", rep)
+			}
+			return rep, nil
+		})
+		if err == nil || err.Error() != "scenario: replicate 3: boom 3" {
+			t.Errorf("workers=%d: err = %v", workers, err)
+		}
+		for i, r := range ran {
+			if !r {
+				t.Errorf("workers=%d: replicate %d skipped", workers, i)
+			}
+		}
+	}
+}
+
+func TestRunManyErrorUnwraps(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	_, err := RunMany(2, 2, func(rep int) (int, error) {
+		if rep == 1 {
+			return 0, sentinel
+		}
+		return 0, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err %v does not wrap sentinel", err)
+	}
+}
+
+func TestReplicateSeedIsPureAndDecorrelated(t *testing.T) {
+	seen := map[uint64]int{}
+	for rep := 0; rep < 64; rep++ {
+		s := ReplicateSeed(7, rep)
+		if again := ReplicateSeed(7, rep); again != s {
+			t.Fatalf("rep %d: %#x then %#x", rep, s, again)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("reps %d and %d collide on %#x", prev, rep, s)
+		}
+		seen[s] = rep
+	}
+	if ReplicateSeed(7, 0) == ReplicateSeed(8, 0) {
+		t.Error("different base seeds produce the same replicate seed")
+	}
+}
