@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: all build test race fuzz-smoke vet lint fmt check
+# Packages with a BenchmarkHotPath microbenchmark of the per-access pipeline.
+BENCH_PKGS := ./internal/cache ./internal/pmu ./internal/dram ./internal/machine
+
+.PHONY: all build test race fuzz-smoke vet lint fmt check bench bench-smoke
 
 all: build test vet lint
 
@@ -31,5 +34,18 @@ lint:
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Full hot-path benchmark run (5 repetitions, median-reduced) and the
+# BENCH_PR3.json before/after report against the committed pre-refactor
+# baseline in bench/baseline_pr3.txt.
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkHotPath -benchmem -count 5 $(BENCH_PKGS) | tee bench/current_pr3.txt
+	$(GO) run ./cmd/benchreport -baseline bench/baseline_pr3.txt -current bench/current_pr3.txt -out BENCH_PR3.json
+
+# CI-sized benchmark smoke: a handful of iterations proves the benchmarks
+# compile and run (and -benchmem keeps alloc regressions visible) without
+# spending CI minutes on stable timings.
+bench-smoke:
+	$(GO) test -run '^$$' -bench BenchmarkHotPath -benchtime 100x -benchmem $(BENCH_PKGS)
 
 check: fmt build vet lint test race

@@ -20,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/profiling"
 	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/workload"
@@ -35,11 +36,23 @@ func main() {
 		duration   = flag.Duration("duration", 192*time.Millisecond, "simulated run time")
 		weakUnits  = flag.Float64("weak", scenario.DefaultWeakUnits, "disturbance threshold planted at the attack's victim row")
 		seed       = flag.Uint64("seed", 0, "root seed for machine-level randomness (0 = calibrated defaults)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
-	if err := run(*attackKind, *workloads, *defName, *duration, *weakUnits, *seed); err != nil {
+	stopProfiles, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
 		log.Print(err)
+		os.Exit(1)
+	}
+
+	runErr := run(*attackKind, *workloads, *defName, *duration, *weakUnits, *seed)
+	if err := stopProfiles(); err != nil {
+		log.Print(err)
+	}
+	if runErr != nil {
+		log.Print(runErr)
 		os.Exit(1)
 	}
 }

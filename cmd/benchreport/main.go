@@ -1,0 +1,215 @@
+// Command benchreport compares two `go test -bench` output files — a
+// committed baseline and a fresh run — and writes a JSON report of per-
+// benchmark before/after numbers and speedups. `make bench` uses it to
+// produce BENCH_PR3.json, the artifact that tracks the per-access-pipeline
+// performance work against the pre-refactor baseline in
+// bench/baseline_pr3.txt.
+//
+// Multiple measurements of the same benchmark (go test -count N) are
+// reduced to their median, which keeps single outlier runs from skewing
+// the report.
+//
+// Usage:
+//
+//	benchreport -baseline bench/baseline_pr3.txt -current bench/current_pr3.txt -out BENCH_PR3.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// measurement is one benchmark's reduced (median) numbers from one file.
+type measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Runs        int     `json:"runs"`
+}
+
+// entry pairs a benchmark's baseline and current measurements.
+type entry struct {
+	Pkg      string       `json:"pkg"`
+	Name     string       `json:"name"`
+	Baseline *measurement `json:"baseline,omitempty"`
+	Current  *measurement `json:"current,omitempty"`
+	// Speedup is baseline ns/op divided by current ns/op (ops/sec ratio);
+	// >1 means the current tree is faster. Zero when either side is missing.
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// report is the emitted JSON document.
+type report struct {
+	BaselineFile string  `json:"baseline_file"`
+	CurrentFile  string  `json:"current_file"`
+	Entries      []entry `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchreport: ")
+	var (
+		baseline = flag.String("baseline", "", "baseline `go test -bench` output file")
+		current  = flag.String("current", "", "current `go test -bench` output file")
+		out      = flag.String("out", "", "write the JSON report here (default stdout)")
+	)
+	flag.Parse()
+	if *baseline == "" || *current == "" {
+		log.Fatal("both -baseline and -current are required")
+	}
+
+	before, err := parseFile(*baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := parseFile(*current)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep := report{BaselineFile: *baseline, CurrentFile: *current}
+	for _, key := range unionKeys(before, after) {
+		pkg, name, _ := strings.Cut(key, " ")
+		e := entry{Pkg: pkg, Name: name}
+		if m, ok := before[key]; ok {
+			e.Baseline = m
+		}
+		if m, ok := after[key]; ok {
+			e.Current = m
+		}
+		if e.Baseline != nil && e.Current != nil && e.Current.NsPerOp > 0 {
+			e.Speedup = round2(e.Baseline.NsPerOp / e.Current.NsPerOp)
+		}
+		rep.Entries = append(rep.Entries, e)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// benchLine matches one benchmark result line. The trailing -N GOMAXPROCS
+// suffix (absent when GOMAXPROCS=1) is stripped from the name; B/op and
+// allocs/op appear only under -benchmem.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S*?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+([0-9.]+) allocs/op)?`)
+
+// parseFile reads `go test -bench` output and reduces repeated runs of each
+// benchmark to medians, keyed by "pkg name".
+func parseFile(path string) (map[string]*measurement, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	type series struct{ ns, bytes, allocs []float64 }
+	raw := map[string]*series{}
+	pkg := ""
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if p, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(p)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		key := pkg + " " + m[1]
+		s := raw[key]
+		if s == nil {
+			s = &series{}
+			raw[key] = s
+		}
+		s.ns = append(s.ns, atof(m[2]))
+		s.bytes = append(s.bytes, atof(m[3]))
+		s.allocs = append(s.allocs, atof(m[4]))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+
+	out := make(map[string]*measurement, len(raw))
+	for _, key := range sortedKeys(raw) {
+		s := raw[key]
+		out[key] = &measurement{
+			NsPerOp:     median(s.ns),
+			BytesPerOp:  median(s.bytes),
+			AllocsPerOp: median(s.allocs),
+			Runs:        len(s.ns),
+		}
+	}
+	return out, nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func atof(s string) float64 {
+	if s == "" {
+		return 0
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+func round2(x float64) float64 {
+	return float64(int64(x*100+0.5)) / 100
+}
+
+// unionKeys returns the sorted union of both maps' keys, so the report
+// order is stable run to run.
+func unionKeys(a, b map[string]*measurement) []string {
+	keys := sortedKeys(a)
+	for _, k := range sortedKeys(b) {
+		if _, ok := a[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	_ "repro/internal/experiments" // registers every table and figure
+	"repro/internal/profiling"
 	"repro/internal/scenario"
 )
 
@@ -57,8 +58,20 @@ func main() {
 		outPath  = flag.String("out", "", "write the JSON document to this file (implies -json)")
 		list     = flag.Bool("list", false, "list registered experiments and exit")
 		validate = flag.String("validate", "", "validate a -json artifact against the registry and exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	if *list {
 		for _, e := range scenario.Experiments() {

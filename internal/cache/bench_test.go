@@ -1,0 +1,95 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// benchMem is a fixed-latency memory backend so the benchmarks measure the
+// hierarchy itself, not the DRAM model.
+type benchMem struct{}
+
+func (benchMem) Access(pa uint64, write bool, now sim.Cycles) sim.Cycles { return 200 }
+
+// BenchmarkHotPath measures the per-access cost of the hierarchy on the
+// access patterns that dominate real runs: the L1-hit steady state every
+// workload spends most of its time in, the CLFLUSH hammer kernel, a
+// streaming (all-miss) sweep, and a flush storm.
+func BenchmarkHotPath(b *testing.B) {
+	b.Run("l1-hit", func(b *testing.B) {
+		h := MustSandyBridge(benchMem{})
+		h.Access(0x1000, false, 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Access(0x1000, false, sim.Cycles(i))
+		}
+	})
+	b.Run("l1-stream", func(b *testing.B) {
+		// 16 KB window: fits in L1, so the steady state is all L1 hits
+		// across 256 distinct lines.
+		h := MustSandyBridge(benchMem{})
+		const lines = 256
+		for i := 0; i < lines; i++ {
+			h.Access(uint64(i)*LineSize, false, 0)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Access(uint64(i%lines)*LineSize, false, sim.Cycles(i))
+		}
+	})
+	b.Run("hammer", func(b *testing.B) {
+		// The CLFLUSH hammer kernel: two addresses in distinct rows, each
+		// access followed by a flush, so every access misses to memory.
+		h := MustSandyBridge(benchMem{})
+		a1, a2 := uint64(0x10000), uint64(0x30000)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			now := sim.Cycles(i) * 400
+			h.Access(a1, false, now)
+			h.Flush(a1, now+100)
+			h.Access(a2, false, now+200)
+			h.Flush(a2, now+300)
+		}
+	})
+	b.Run("stream", func(b *testing.B) {
+		// Streaming sweep over 64 MB: misses, fills and LLC evictions.
+		h := MustSandyBridge(benchMem{})
+		const window = 64 << 20
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pa := (uint64(i) * LineSize) % window
+			h.Access(pa, i&7 == 0, sim.Cycles(i)*200)
+		}
+	})
+	b.Run("flush-storm", func(b *testing.B) {
+		h := MustSandyBridge(benchMem{})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pa := uint64(i%512) * LineSize
+			h.Flush(pa, sim.Cycles(i)*10)
+		}
+	})
+}
+
+// TestAccessSteadyStateAllocs pins the allocation-free property of the hot
+// path: a cache hit in the steady state must not allocate.
+func TestAccessSteadyStateAllocs(t *testing.T) {
+	h := MustSandyBridge(benchMem{})
+	h.Access(0x1000, false, 0)
+	h.Access(0x2000, false, 1)
+	now := sim.Cycles(2)
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Access(0x1000, false, now)
+		h.Access(0x2000, false, now+1)
+		now += 2
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Hierarchy.Access allocates %.1f times per run, want 0", allocs)
+	}
+}

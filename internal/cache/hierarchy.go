@@ -86,6 +86,20 @@ type Hierarchy struct {
 	mem     Memory
 	stats   HierarchyStats
 	lastHit int // level index of the previous access's hit, -1 otherwise
+
+	// Per-level miss hints from the current access's probes (global set
+	// index, first invalid way), letting fillAbove skip the scans probe
+	// already did. Scratch state only — never carried across accesses.
+	setHint  []int
+	freeHint []int
+
+	// Tags Flush proved absent from every level. The access that follows a
+	// CLFLUSH of the same line — the hammer idiom this simulator spends its
+	// life in — skips the per-level tag scans and goes straight to the miss
+	// path. Two slots cover the double-sided pattern; a slot is consumed by
+	// the access that uses it and dropped when a prefetch refills the line.
+	flushedTag [2]uint64 // ^0 when empty
+	flushedPos int
 }
 
 // HierarchyStats aggregates whole-hierarchy activity.
@@ -108,7 +122,14 @@ func NewHierarchy(cfg HierarchyConfig, mem Memory) (*Hierarchy, error) {
 		return nil, fmt.Errorf("cache: hierarchy needs a memory backend")
 	}
 	rng := sim.NewRand(cfg.Seed)
-	h := &Hierarchy{cfg: cfg, mem: mem, lastHit: -1}
+	h := &Hierarchy{
+		cfg:        cfg,
+		mem:        mem,
+		lastHit:    -1,
+		setHint:    make([]int, len(cfg.Levels)),
+		freeHint:   make([]int, len(cfg.Levels)),
+		flushedTag: [2]uint64{^uint64(0), ^uint64(0)},
+	}
 	for _, lc := range cfg.Levels {
 		l, err := NewLevel(lc, rng.Split())
 		if err != nil {
@@ -149,8 +170,25 @@ func (h *Hierarchy) Access(pa uint64, write bool, now sim.Cycles) Result {
 	} else {
 		h.stats.Loads++
 	}
+	if t := pa >> lineShift; t == h.flushedTag[0] || t == h.flushedTag[1] {
+		// The line was flushed out of every level and nothing has refilled
+		// it: a guaranteed full miss. Count the per-level misses and gather
+		// the fill hints, but skip the tag scans. Both slots can hold the
+		// tag (a double flush), and the refill invalidates both.
+		if t == h.flushedTag[0] {
+			h.flushedTag[0] = ^uint64(0)
+		}
+		if t == h.flushedTag[1] {
+			h.flushedTag[1] = ^uint64(0)
+		}
+		for _, l := range h.levels {
+			l.stats.Misses++
+		}
+		return h.missEverywhere(pa, write, now, false)
+	}
 	for i, l := range h.levels {
-		if l.Access(pa, write && i == 0) {
+		hit, setIdx, freeWay := l.probe(pa, write && i == 0)
+		if hit {
 			lat := l.cfg.Latency
 			if h.lastHit == i && l.cfg.Throughput > 0 {
 				lat = l.cfg.Throughput // back-to-back hits pipeline
@@ -161,16 +199,23 @@ func (h *Hierarchy) Access(pa uint64, write bool, now sim.Cycles) Result {
 			res.Writebacks += h.fillAbove(i, pa, write, now)
 			return res
 		}
+		h.setHint[i] = setIdx
+		h.freeHint[i] = freeWay
 	}
-	// Miss everywhere: fetch from memory. Stores allocate via
-	// read-for-ownership, so the memory access is a read either way.
+	return h.missEverywhere(pa, write, now, true)
+}
+
+// missEverywhere is the tail of Access once every level has missed: fetch
+// from memory and fill the whole hierarchy. Stores allocate via
+// read-for-ownership, so the memory access is a read either way.
+func (h *Hierarchy) missEverywhere(pa uint64, write bool, now sim.Cycles, hinted bool) Result {
 	h.lastHit = -1
 	h.stats.LLCMisses++
 	llcLat := h.LLC().cfg.Latency
 	memLat := h.mem.Access(pa, false, now+llcLat)
 	h.stats.MemReads++
 	res := Result{Latency: llcLat + memLat, Source: SrcDRAM, LLCMiss: true}
-	res.Writebacks += h.fillAbove(len(h.levels), pa, write, now)
+	res.Writebacks += h.fill(len(h.levels), pa, write, now, hinted)
 	if h.cfg.NextLinePrefetch {
 		res.Writebacks += h.prefetch(pa+LineSize, now)
 	}
@@ -184,6 +229,14 @@ func (h *Hierarchy) prefetch(pa uint64, now sim.Cycles) int {
 	llc := h.LLC()
 	if llc.Lookup(pa) {
 		return 0
+	}
+	if t := pa >> lineShift; t == h.flushedTag[0] || t == h.flushedTag[1] {
+		if t == h.flushedTag[0] {
+			h.flushedTag[0] = ^uint64(0)
+		}
+		if t == h.flushedTag[1] {
+			h.flushedTag[1] = ^uint64(0)
+		}
 	}
 	h.stats.Prefetches++
 	h.mem.Access(pa, false, now)
@@ -211,9 +264,25 @@ func (h *Hierarchy) prefetch(pa uint64, now sim.Cycles) int {
 // writebacks to the level below or to memory. It returns the number of
 // memory writebacks performed.
 func (h *Hierarchy) fillAbove(from int, pa uint64, write bool, now sim.Cycles) int {
+	// Every level above `from` just missed, so its probe hints are fresh;
+	// they stay valid until something mutates the sets they describe, which
+	// only the back-invalidation in fill does.
+	return h.fill(from, pa, write, now, true)
+}
+
+// fill inserts pa into every level above `from` (exclusive); see fillAbove.
+// When hinted is false (the flushed-line fast path, where no probes ran),
+// each level rescans for its own slot.
+func (h *Hierarchy) fill(from int, pa uint64, write bool, now sim.Cycles, hinted bool) int {
 	wb := 0
 	for i := from - 1; i >= 0; i-- {
-		ev, evicted := h.levels[i].Fill(pa, write && i == 0)
+		var ev Evicted
+		var evicted bool
+		if hinted {
+			ev, evicted = h.levels[i].fillAt(h.setHint[i], h.freeHint[i], pa, write && i == 0)
+		} else {
+			ev, evicted = h.levels[i].Fill(pa, write && i == 0)
+		}
 		if !evicted {
 			continue
 		}
@@ -225,6 +294,9 @@ func (h *Hierarchy) fillAbove(from int, pa uint64, write bool, now sim.Cycles) i
 					dirty = true
 				}
 			}
+			// The back-invalidation may have freed a way below an inner
+			// level's hint; rescan from scratch for the remaining fills.
+			hinted = false
 			if dirty {
 				h.mem.Access(ev.PA, true, now)
 				h.stats.MemWrites++
@@ -259,6 +331,8 @@ func (h *Hierarchy) Flush(pa uint64, now sim.Cycles) (sim.Cycles, int) {
 		h.stats.MemWrites++
 		wb = 1
 	}
+	h.flushedTag[h.flushedPos] = pa >> lineShift
+	h.flushedPos ^= 1
 	return h.cfg.FlushLatency, wb
 }
 

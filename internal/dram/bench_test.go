@@ -1,0 +1,99 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// benchModule builds the paper's default module.
+func benchModule(b *testing.B) *Module {
+	b.Helper()
+	m, err := New(DefaultConfig(sim.DefaultFreq))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkHotPath measures Module.Access on the activation-heavy patterns
+// the simulator spends its time in: double-sided hammering (every access a
+// row conflict, disturbing planted and unplanted neighbours), a row-buffer
+// streaming workload, and a scan across banks.
+func BenchmarkHotPath(b *testing.B) {
+	b.Run("hammer", func(b *testing.B) {
+		m := benchModule(b)
+		// Double-sided pair around a planted victim row.
+		if err := m.PlantWeakRow(0, 1000, 1<<40); err != nil {
+			b.Fatal(err)
+		}
+		above := m.Mapper().Unmap(Coord{Bank: 0, Row: 999})
+		below := m.Mapper().Unmap(Coord{Bank: 0, Row: 1001})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			now := sim.Cycles(i) * 320
+			m.Access(above, false, now)
+			m.Access(below, false, now+160)
+		}
+	})
+	b.Run("hammer-unplanted", func(b *testing.B) {
+		// Same pattern with no planted victim: the common case for every
+		// workload access that happens to activate rows.
+		m := benchModule(b)
+		above := m.Mapper().Unmap(Coord{Bank: 1, Row: 2000})
+		below := m.Mapper().Unmap(Coord{Bank: 1, Row: 2002})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			now := sim.Cycles(i) * 320
+			m.Access(above, false, now)
+			m.Access(below, false, now+160)
+		}
+	})
+	b.Run("row-hit-stream", func(b *testing.B) {
+		// Sequential columns within one row: the row-buffer-hit fast path.
+		m := benchModule(b)
+		base := m.Mapper().Unmap(Coord{Bank: 2, Row: 500})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Access(base+uint64(i%128)*64, false, sim.Cycles(i)*100)
+		}
+	})
+	b.Run("bank-scan", func(b *testing.B) {
+		// Round-robin activations across every bank and many rows.
+		m := benchModule(b)
+		g := m.Config().Geometry
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c := Coord{Bank: i % g.Banks(), Row: (i * 7) % g.RowsPerBank}
+			m.AccessCoord(c, false, sim.Cycles(i)*150)
+		}
+	})
+}
+
+// TestAccessSteadyStateAllocs pins the allocation-free property of the hot
+// path: steady-state hammering (victim accumulators already materialised,
+// no flips being recorded) must not allocate.
+func TestAccessSteadyStateAllocs(t *testing.T) {
+	m, err := New(DefaultConfig(sim.DefaultFreq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	above := m.Mapper().Unmap(Coord{Bank: 0, Row: 999})
+	below := m.Mapper().Unmap(Coord{Bank: 0, Row: 1001})
+	// Warm up: materialise the victim accumulators of both neighbours.
+	m.Access(above, false, 0)
+	m.Access(below, false, 160)
+	now := sim.Cycles(320)
+	allocs := testing.AllocsPerRun(1000, func() {
+		m.Access(above, false, now)
+		m.Access(below, false, now+160)
+		now += 320
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Module.Access allocates %.1f times per run, want 0", allocs)
+	}
+}

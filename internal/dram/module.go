@@ -2,6 +2,7 @@ package dram
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/sim"
@@ -86,13 +87,26 @@ type Module struct {
 	trefi  sim.Cycles
 
 	engine      *commandEngine        // nil unless Config.Detailed is set
-	victims     map[uint64]*victim    // (bank,row) -> accumulator
+	disturbed   []bankDisturb         // per-bank dense accumulators, index = bank
 	planted     map[uint64][]weakCell // explicit weak cells (tests, harness)
 	flips       []BitFlip
 	hooks       []ActivateHook
 	interceptor func(c Coord, now sim.Cycles) bool
 
+	rowsPerRefCmd uint64 // rows covered by one REF command (lastScheduledRefresh)
+
 	stats Stats
+}
+
+// bankDisturb is one bank's disturbance state, stored densely by row so the
+// activation path indexes arrays instead of hashing (bank,row) keys. Both
+// slices are allocated together on the bank's first disturbance.
+type bankDisturb struct {
+	vic []victim // accumulators, index = row
+	// thr caches each row's weakest-cell flip threshold: 0 means not yet
+	// computed, +Inf an invulnerable row (so the units-vs-threshold compare
+	// needs no separate "vulnerable" flag).
+	thr []float64
 }
 
 func victimKey(bank, row int) uint64 { return uint64(bank)<<32 | uint64(uint32(row)) }
@@ -120,13 +134,15 @@ func New(cfg Config) (*Module, error) {
 	if err := cfg.Detailed.Validate(); err != nil {
 		return nil, err
 	}
+	cmds := uint64(cfg.Timing.RefreshCommands)
 	m := &Module{
-		cfg:     cfg,
-		mapper:  mapper,
-		banks:   make([]bankState, cfg.Geometry.Banks()),
-		trefi:   cfg.Timing.TREFI(),
-		victims: make(map[uint64]*victim),
-		planted: make(map[uint64][]weakCell),
+		cfg:           cfg,
+		mapper:        mapper,
+		banks:         make([]bankState, cfg.Geometry.Banks()),
+		trefi:         cfg.Timing.TREFI(),
+		disturbed:     make([]bankDisturb, cfg.Geometry.Banks()),
+		planted:       make(map[uint64][]weakCell),
+		rowsPerRefCmd: (uint64(cfg.Geometry.RowsPerBank) + cmds - 1) / cmds,
 	}
 	if cfg.Detailed != nil {
 		m.engine = newCommandEngine(cfg.Detailed, cfg.Geometry.Banks(), cfg.Geometry.Ranks)
@@ -192,7 +208,16 @@ func (m *Module) PlantWeakRow(bank, row int, units float64) error {
 	}
 	bit := int(rowHash(m.cfg.Disturb.Seed^0xb17f11b, bank, row) % uint64(m.cfg.Geometry.RowBytes*8))
 	m.planted[victimKey(bank, row)] = []weakCell{{threshold: units, bit: bit}}
+	m.dropCachedThreshold(bank, row)
 	return nil
+}
+
+// dropCachedThreshold marks a row's dense threshold cache entry as
+// uncomputed after planting changes the row's weak cells.
+func (m *Module) dropCachedThreshold(bank, row int) {
+	if bd := &m.disturbed[bank]; bd.thr != nil {
+		bd.thr[row] = 0
+	}
 }
 
 // PlantWeakCell appends one explicit weak cell (threshold + bit position)
@@ -209,6 +234,7 @@ func (m *Module) PlantWeakCell(bank, row int, units float64, bit int) error {
 	cells := append(m.planted[k], weakCell{threshold: units, bit: bit})
 	sort.Slice(cells, func(i, j int) bool { return cells[i].threshold < cells[j].threshold })
 	m.planted[k] = cells
+	m.dropCachedThreshold(bank, row)
 	return nil
 }
 
@@ -218,6 +244,17 @@ func (m *Module) rowCells(bank, row int) []weakCell {
 		return cells
 	}
 	return m.cfg.Disturb.cells(bank, row, m.cfg.Geometry.RowBytes*8)
+}
+
+// cacheThreshold computes (bank,row)'s weakest-cell threshold and stores it
+// in the bank's dense cache, with +Inf standing in for "never flips".
+func (m *Module) cacheThreshold(bd *bankDisturb, bank, row int) float64 {
+	thr, vulnerable := m.RowThreshold(bank, row)
+	if !vulnerable {
+		thr = math.Inf(1)
+	}
+	bd.thr[row] = thr
+	return thr
 }
 
 // RowThreshold reports the flip threshold of (bank,row)'s weakest cell, and
@@ -263,10 +300,14 @@ func (m *Module) WeakRows(bank int, maxUnits float64, limit int) []int {
 // applying any pending lazy refresh first. Intended for tests and detectors
 // with oracle access.
 func (m *Module) VictimUnits(bank, row int, now sim.Cycles) float64 {
-	v, ok := m.victims[victimKey(bank, row)]
-	if !ok {
+	if bank < 0 || bank >= len(m.disturbed) || row < 0 || row >= m.cfg.Geometry.RowsPerBank {
 		return 0
 	}
+	bd := &m.disturbed[bank]
+	if bd.vic == nil {
+		return 0
+	}
+	v := &bd.vic[row]
 	if r := m.lastScheduledRefresh(row, now); r > v.lastReset {
 		return 0
 	}
@@ -279,8 +320,7 @@ func (m *Module) VictimUnits(bank, row int, now sim.Cycles) float64 {
 // per-tREFI events are needed.
 func (m *Module) lastScheduledRefresh(row int, now sim.Cycles) sim.Cycles {
 	cmds := uint64(m.cfg.Timing.RefreshCommands)
-	rowsPerCmd := (uint64(m.cfg.Geometry.RowsPerBank) + cmds - 1) / cmds
-	bin := uint64(row) / rowsPerCmd
+	bin := uint64(row) / m.rowsPerRefCmd
 	kNow := uint64(now) / uint64(m.trefi)
 	if kNow < bin {
 		return 0
@@ -402,8 +442,13 @@ func (m *Module) activate(c Coord, now sim.Cycles) {
 	b.acts++
 	m.stats.Activations++
 
-	// The activated row's own charge is restored.
-	if v, ok := m.victims[victimKey(c.Bank, c.Row)]; ok {
+	// The activated row's own charge is restored. An unallocated bank has no
+	// accumulated charge anywhere, so there is nothing to reset (and for an
+	// allocated bank, resetting a still-zero accumulator is harmless: only
+	// lastReset changes, and simulated time is monotone, so every later
+	// refresh-sweep comparison decides the same way).
+	if bd := &m.disturbed[c.Bank]; bd.vic != nil {
+		v := &bd.vic[c.Row]
 		v.units = 0
 		v.lastReset = now
 		v.lastSide = 0
@@ -430,12 +475,12 @@ func (m *Module) disturb(bank, row int, side int8, scale float64, now sim.Cycles
 	if row < 0 || row >= m.cfg.Geometry.RowsPerBank {
 		return
 	}
-	key := victimKey(bank, row)
-	v, ok := m.victims[key]
-	if !ok {
-		v = &victim{}
-		m.victims[key] = v
+	bd := &m.disturbed[bank]
+	if bd.vic == nil {
+		bd.vic = make([]victim, m.cfg.Geometry.RowsPerBank)
+		bd.thr = make([]float64, m.cfg.Geometry.RowsPerBank)
 	}
+	v := &bd.vic[row]
 	// Lazy periodic-refresh reset.
 	if r := m.lastScheduledRefresh(row, now); r > v.lastReset {
 		v.units = 0
@@ -453,9 +498,14 @@ func (m *Module) disturb(bank, row int, side int8, scale float64, now sim.Cycles
 		v.lastSide = side
 	}
 	v.units += units
-	// Fast path: materialise the cell list only when the weakest cell's
-	// threshold has been reached (the hot path runs on every activation).
-	if thr, vulnerable := m.RowThreshold(bank, row); !vulnerable || v.units < thr {
+	// Fast path: compare against the cached threshold and materialise the
+	// cell list only once the weakest cell's threshold has been reached (the
+	// hot path runs on every activation).
+	thr := bd.thr[row]
+	if thr == 0 {
+		thr = m.cacheThreshold(bd, bank, row)
+	}
+	if v.units < thr {
 		return
 	}
 	cells := m.rowCells(bank, row)

@@ -1,0 +1,57 @@
+package experiments_test
+
+// The registry-JSON golden is the referee for performance refactors of the
+// per-access pipeline: the serialized result of a registered experiment is
+// pinned byte-for-byte in testdata, so any change to the cache, PMU, DRAM
+// or machine fast paths that perturbs simulated behaviour — even by one
+// access — fails this test. Regenerate (deliberately!) with:
+//
+//	go test ./internal/experiments -run TestRegistryGoldenJSON -update-golden
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	_ "repro/internal/experiments" // registers every table and figure
+	"repro/internal/scenario"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the registry JSON goldens")
+
+func TestRegistryGoldenJSON(t *testing.T) {
+	cfg := scenario.Config{Quick: true, Seed: 7}
+	e, ok := scenario.Find("table1")
+	if !ok {
+		t.Fatal("experiment table1 not registered")
+	}
+	res, err := e.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw = append(raw, '\n')
+
+	path := filepath.Join("testdata", "table1_quick_seed7.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (re-run with -update-golden after a deliberate behaviour change): %v", err)
+	}
+	if !bytes.Equal(raw, want) {
+		t.Errorf("table1 JSON diverged from the pinned golden.\ngot:\n%s\nwant:\n%s", raw, want)
+	}
+}

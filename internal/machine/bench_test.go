@@ -1,0 +1,91 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// loadLoop is a minimal program: n loads cycling through a small buffer
+// (L1-resident after warm-up), so machine benchmarks measure the Step /
+// Translate / memory-system pipeline rather than DRAM behaviour.
+type loadLoop struct {
+	n     uint64
+	lines uint64
+	base  uint64
+	i     uint64
+}
+
+func (p *loadLoop) Name() string { return "load-loop" }
+
+func (p *loadLoop) Init(pr *Proc) error {
+	p.base = 0x100000
+	if p.lines == 0 {
+		p.lines = 64
+	}
+	return pr.AS.Map(p.base, p.lines*64)
+}
+
+func (p *loadLoop) Next() Op {
+	if p.i >= p.n {
+		return Op{Kind: OpDone}
+	}
+	va := p.base + (p.i%p.lines)*64
+	p.i++
+	return Op{Kind: OpLoad, VA: va}
+}
+
+// runOps builds a machine with `progs` load-loop programs of n ops each and
+// runs it to completion.
+func runOps(b *testing.B, progs int, n uint64) {
+	b.Helper()
+	cfg := DefaultConfig()
+	m, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for c := 0; c < progs; c++ {
+		if _, err := m.Spawn(c, &loadLoop{n: n}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := m.Run(1 << 62); err != nil && !errors.Is(err, ErrAllDone) {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkHotPath measures the full per-operation pipeline (Step ->
+// Translate -> cache -> PMU) in steps per second, for the single-active-core
+// case every single-program experiment runs in and for a fully loaded
+// machine.
+func BenchmarkHotPath(b *testing.B) {
+	b.Run("run-1core", func(b *testing.B) {
+		b.ReportAllocs()
+		runOps(b, 1, uint64(b.N))
+	})
+	b.Run("run-4core", func(b *testing.B) {
+		b.ReportAllocs()
+		runOps(b, 4, uint64(b.N)/4+1)
+	})
+	b.Run("timers", func(b *testing.B) {
+		// Timer churn: interleaved schedule/fire, the kernel-side pattern of
+		// the detector's sampling windows and refresh queues.
+		k := &Kernel{}
+		fired := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			now := sim.Cycles(i) * 10
+			for j := 0; j < 8; j++ {
+				k.At(now+sim.Cycles(100+j*13), func(sim.Cycles) { fired++ })
+			}
+			k.fireDue(now)
+		}
+		b.StopTimer()
+		k.fireDue(1 << 62)
+		if fired == 0 {
+			b.Fatal("no timers fired")
+		}
+	})
+}

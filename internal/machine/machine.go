@@ -11,7 +11,6 @@ package machine
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"repro/internal/memsys"
 	"repro/internal/sim"
@@ -90,10 +89,20 @@ type Kernel struct {
 	seq     int
 }
 
+// timers form a binary min-heap ordered by (due, seq); seq breaks ties so
+// handlers scheduled for the same instant fire in scheduling order, keeping
+// the simulation deterministic.
 type timer struct {
 	due sim.Cycles
 	seq int // tie-break for determinism
 	fn  func(now sim.Cycles)
+}
+
+func (t timer) before(u timer) bool {
+	if t.due != u.due {
+		return t.due < u.due
+	}
+	return t.seq < u.seq
 }
 
 // TaskSpace resolves a task id to its address space — what ANVIL does with
@@ -106,16 +115,20 @@ func (k *Kernel) TaskSpace(task int) *vm.AddressSpace {
 	return nil
 }
 
-// At schedules fn to run at the given simulated time.
+// At schedules fn to run at the given simulated time. O(log n) heap push,
+// where the sorted slice this replaces paid an O(n log n) sort per insert.
 func (k *Kernel) At(t sim.Cycles, fn func(now sim.Cycles)) {
 	k.seq++
 	k.timers = append(k.timers, timer{due: t, seq: k.seq, fn: fn})
-	sort.Slice(k.timers, func(i, j int) bool {
-		if k.timers[i].due != k.timers[j].due {
-			return k.timers[i].due < k.timers[j].due
+	i := len(k.timers) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !k.timers[i].before(k.timers[parent]) {
+			break
 		}
-		return k.timers[i].seq < k.timers[j].seq
-	})
+		k.timers[i], k.timers[parent] = k.timers[parent], k.timers[i]
+		i = parent
+	}
 }
 
 // fireDue runs all timers due at or before now, in deadline order. Handlers
@@ -124,7 +137,24 @@ func (k *Kernel) At(t sim.Cycles, fn func(now sim.Cycles)) {
 func (k *Kernel) fireDue(now sim.Cycles) {
 	for len(k.timers) > 0 && k.timers[0].due <= now {
 		t := k.timers[0]
-		k.timers = k.timers[1:]
+		n := len(k.timers) - 1
+		k.timers[0] = k.timers[n]
+		k.timers[n] = timer{} // drop the fn reference
+		k.timers = k.timers[:n]
+		for i := 0; ; {
+			small := 2*i + 1
+			if small >= n {
+				break
+			}
+			if r := small + 1; r < n && k.timers[r].before(k.timers[small]) {
+				small = r
+			}
+			if !k.timers[small].before(k.timers[i]) {
+				break
+			}
+			k.timers[i], k.timers[small] = k.timers[small], k.timers[i]
+			i = small
+		}
 		t.fn(t.due)
 	}
 }
@@ -190,7 +220,8 @@ type Machine struct {
 	// Sched configures per-core time slicing for SpawnShared run queues.
 	Sched SchedParams
 
-	current *Core // core whose op is executing (for Charge)
+	current  *Core // core whose op is executing (for Charge)
+	spawnGen int   // bumped by Spawn/SpawnShared; invalidates Run's fast path
 }
 
 // New builds a machine.
@@ -236,6 +267,7 @@ func (m *Machine) Spawn(core int, prog Program) (*Proc, error) {
 	c.Done = false
 	c.Err = nil
 	p.core = c
+	m.spawnGen++
 	return p, nil
 }
 
@@ -286,6 +318,15 @@ func (m *Machine) Step() bool {
 	if c == nil {
 		return false
 	}
+	m.stepCore(c)
+	return true
+}
+
+// stepCore executes one operation on c, which the caller has established is
+// the earliest active core. It returns the error the step left on c, if
+// any — a step can only fault the core it ran on, so callers need not sweep
+// the others.
+func (m *Machine) stepCore(c *Core) error {
 	m.Kernel.fireDue(c.Now)
 	m.current = c
 	op := c.Prog.Next()
@@ -300,7 +341,7 @@ func (m *Machine) Step() bool {
 		pa, err := c.Proc.AS.Translate(op.VA)
 		if err != nil {
 			c.syncTask(m, 0, false, fmt.Errorf("machine: %s: %w", c.Prog.Name(), err))
-			return true
+			return c.Err
 		}
 		write := op.Kind == OpStore
 		if write {
@@ -319,7 +360,7 @@ func (m *Machine) Step() bool {
 		pa, err := c.Proc.AS.Translate(op.VA)
 		if err != nil {
 			c.syncTask(m, 0, false, fmt.Errorf("machine: %s: %w", c.Prog.Name(), err))
-			return true
+			return c.Err
 		}
 		c.Stats.Flushes++
 		lat := m.Mem.Flush(pa, c.Now)
@@ -330,7 +371,7 @@ func (m *Machine) Step() bool {
 	default:
 		c.syncTask(m, 0, false, fmt.Errorf("machine: %s produced invalid op kind %d", c.Prog.Name(), op.Kind))
 	}
-	return true
+	return c.Err
 }
 
 // Run executes until every active core's clock reaches the deadline or all
@@ -342,17 +383,44 @@ func (m *Machine) Run(until sim.Cycles) error {
 		if c == nil {
 			return ErrAllDone
 		}
+		// Single-active-core fast path: almost every experiment runs one
+		// program, making the per-step minimum-clock scan pure overhead.
+		// Step the lone core in a tight loop; only a Spawn from a timer
+		// handler can activate another core, so watch the spawn generation.
+		if m.onlyActive(c) {
+			gen := m.spawnGen
+			for !c.Done {
+				if c.Now >= until {
+					m.Kernel.fireDue(until)
+					return nil
+				}
+				if err := m.stepCore(c); err != nil {
+					return err
+				}
+				if m.spawnGen != gen {
+					break
+				}
+			}
+			continue
+		}
 		if c.Now >= until {
 			m.Kernel.fireDue(until)
 			return nil
 		}
-		m.Step()
-		for _, cc := range m.Cores {
-			if cc.Err != nil {
-				return cc.Err
-			}
+		if err := m.stepCore(c); err != nil {
+			return err
 		}
 	}
+}
+
+// onlyActive reports whether c is the only core still running a program.
+func (m *Machine) onlyActive(c *Core) bool {
+	for _, cc := range m.Cores {
+		if cc != c && !cc.Done {
+			return false
+		}
+	}
+	return true
 }
 
 // RunFor is Run with a duration relative to the current earliest clock.

@@ -58,6 +58,7 @@ func (m *Machine) SpawnShared(core int, prog Program) (*Proc, error) {
 	if c.sliceLeft == 0 {
 		c.sliceLeft = m.quantum()
 	}
+	m.spawnGen++
 	return p, nil
 }
 

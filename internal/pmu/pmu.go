@@ -150,7 +150,7 @@ func New(seed uint64, bufferCap int) *PMU {
 	if bufferCap <= 0 {
 		bufferCap = 4096
 	}
-	p := &PMU{capacity: bufferCap}
+	p := &PMU{capacity: bufferCap, buf: make([]Sample, 0, bufferCap)}
 	rng := sim.NewRand(seed)
 	p.loads.rng = rng.Split()
 	p.stores.rng = rng.Split()
@@ -186,10 +186,16 @@ func (p *PMU) ConfigureStoreSampler(cfg SamplerConfig, now sim.Cycles) {
 // (used by detectors to model per-sample interrupt cost).
 func (p *PMU) OnSample(fn func(s Sample)) { p.onSample = fn }
 
-// Samples drains and returns the PEBS buffer.
+// Samples drains and returns the PEBS buffer. The returned slice is the
+// caller's to keep; the internal buffer is reused so that steady-state
+// Observe never allocates.
 func (p *PMU) Samples() []Sample {
-	out := p.buf
-	p.buf = nil
+	if len(p.buf) == 0 {
+		return nil
+	}
+	out := make([]Sample, len(p.buf))
+	copy(out, p.buf)
+	p.buf = p.buf[:0]
 	return out
 }
 
@@ -230,6 +236,10 @@ func (p *PMU) Observe(a Access) {
 	if !take {
 		return
 	}
+	if len(p.buf) >= p.capacity {
+		p.dropped++
+		return
+	}
 	s := Sample{
 		VA:      a.VA,
 		Latency: a.Latency,
@@ -238,10 +248,6 @@ func (p *PMU) Observe(a Access) {
 		Task:    a.Task,
 		Core:    a.Core,
 		Time:    a.Now,
-	}
-	if len(p.buf) >= p.capacity {
-		p.dropped++
-		return
 	}
 	p.buf = append(p.buf, s)
 	if p.onSample != nil {
