@@ -3,7 +3,7 @@ GO ?= go
 # Packages with a BenchmarkHotPath microbenchmark of the per-access pipeline.
 BENCH_PKGS := ./internal/cache ./internal/pmu ./internal/dram ./internal/machine
 
-.PHONY: all build test race fuzz-smoke vet lint fmt check bench bench-smoke
+.PHONY: all build test race fuzz-smoke fault-smoke vet lint fmt check bench bench-smoke
 
 all: build test vet lint
 
@@ -11,16 +11,23 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 10m ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 20m ./...
 
 # Ten seconds per fuzz target: enough to shake out regressions in the
 # mapper round-trip and cache-policy invariants without stalling CI.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzMapperRoundTrip -fuzztime 10s ./internal/dram
 	$(GO) test -run '^$$' -fuzz FuzzPolicyInvariants -fuzztime 10s ./internal/cache
+	$(GO) test -run '^$$' -fuzz FuzzFaultSpec -fuzztime 10s ./internal/fault
+
+# The degraded-hardware experiments under the hardened runner: per-replicate
+# timeouts and keep-going failure reporting exercised end to end.
+fault-smoke:
+	$(GO) run ./cmd/tables -quick -seed 7 -timeout 5m -keep-going \
+		-only degraded-sampling,fault-matrix
 
 vet:
 	$(GO) vet ./...

@@ -19,6 +19,28 @@ import (
 	"repro/internal/workload"
 )
 
+// mustProg builds a synthetic workload program, failing the benchmark on
+// error.
+func mustProg(tb testing.TB, prof workload.Profile) *workload.Synthetic {
+	tb.Helper()
+	s, err := workload.New(prof)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+// heavyTrio resolves the heavy-load profiles, failing the benchmark on
+// error.
+func heavyTrio(tb testing.TB) []workload.Profile {
+	tb.Helper()
+	trio, err := workload.HeavyLoadTrio()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return trio
+}
+
 func newAttackMachine(b *testing.B, cores int) (*machine.Machine, *attack.DoubleSidedFlush) {
 	b.Helper()
 	cfg := machine.DefaultConfig()
@@ -86,7 +108,7 @@ func BenchmarkAblation_Stage1Threshold(b *testing.B) {
 					b.Fatal(err)
 				}
 				prof, _ := workload.ByName("bzip2")
-				if _, err := m2.Spawn(0, workload.MustNew(prof)); err != nil {
+				if _, err := m2.Spawn(0, mustProg(b, prof)); err != nil {
 					b.Fatal(err)
 				}
 				det2, err := anvil.New(m2, p, nil)
@@ -108,8 +130,8 @@ func BenchmarkAblation_SamplingRate(b *testing.B) {
 		b.Run(fmt.Sprintf("rate=%d", rate), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				m, _ := newAttackMachine(b, 4)
-				for j, prof := range workload.HeavyLoadTrio() {
-					if _, err := m.Spawn(j+1, workload.MustNew(prof)); err != nil {
+				for j, prof := range heavyTrio(b) {
+					if _, err := m.Spawn(j+1, mustProg(b, prof)); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -143,7 +165,7 @@ func BenchmarkAblation_BankCheck(b *testing.B) {
 					b.Fatal(err)
 				}
 				prof, _ := workload.ByName("gcc")
-				if _, err := m.Spawn(0, workload.MustNew(prof)); err != nil {
+				if _, err := m.Spawn(0, mustProg(b, prof)); err != nil {
 					b.Fatal(err)
 				}
 				p := anvil.Baseline()

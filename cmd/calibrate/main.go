@@ -42,7 +42,11 @@ func missRates() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if _, err := m.Spawn(0, workload.MustNew(prof)); err != nil {
+		prog, err := workload.New(prof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := m.Spawn(0, prog); err != nil {
 			log.Fatal(err)
 		}
 		var rates []float64
@@ -82,7 +86,11 @@ func fpProbe(prof workload.Profile, dur time.Duration) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := m.Spawn(0, workload.MustNew(prof)); err != nil {
+	prog, err := workload.New(prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := m.Spawn(0, prog); err != nil {
 		log.Fatal(err)
 	}
 	d, err := anvil.New(m, anvil.Baseline(), nil)

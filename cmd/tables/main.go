@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	tables [-quick] [-seed N] [-parallel N] [-only table1,table3,...]
+//	tables [-quick] [-seed N] [-parallel N] [-timeout D] [-keep-going] [-only table1,table3,...]
 //	tables -json [-out results.json]
 //	tables -list
 //	tables -validate results.json
@@ -12,19 +12,25 @@
 // -quick shrinks run lengths (useful for smoke tests); -seed shards the
 // stochastic machine components; -parallel caps the worker pool of
 // multi-replicate experiments (parallelism changes wall-clock time only,
-// never a reported number); -only selects a comma-separated subset of the
-// registered experiment names (see -list). -json emits the structured
+// never a reported number); -timeout bounds each replicate's wall-clock time;
+// -keep-going records a failing experiment's error and moves on instead of
+// aborting the run; -only selects a comma-separated subset of the registered
+// experiment names (see -list). Interrupting the process (SIGINT/SIGTERM)
+// cancels in-flight sweeps promptly. -json emits the structured
 // results as a single JSON document on stdout (or to -out), a
 // trend-trackable artifact that -validate checks for completeness.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	_ "repro/internal/experiments" // registers every table and figure
@@ -44,22 +50,26 @@ type namedResult struct {
 	Name    string            `json:"name"`
 	Data    json.RawMessage   `json:"data"`
 	Metrics []scenario.Metric `json:"metrics,omitempty"`
+	// Err records a failed experiment under -keep-going; Data is null then.
+	Err string `json:"error,omitempty"`
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tables: ")
 	var (
-		quick    = flag.Bool("quick", false, "shrink experiment durations")
-		seed     = flag.Uint64("seed", 0, "root seed for machine-level randomness (0 = calibrated defaults)")
-		parallel = flag.Int("parallel", 0, "worker pool size for multi-replicate experiments (0 = GOMAXPROCS)")
-		only     = flag.String("only", "", "comma-separated subset of experiments to run")
-		jsonOut  = flag.Bool("json", false, "emit structured results as JSON instead of text tables")
-		outPath  = flag.String("out", "", "write the JSON document to this file (implies -json)")
-		list     = flag.Bool("list", false, "list registered experiments and exit")
-		validate = flag.String("validate", "", "validate a -json artifact against the registry and exit")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		quick     = flag.Bool("quick", false, "shrink experiment durations")
+		seed      = flag.Uint64("seed", 0, "root seed for machine-level randomness (0 = calibrated defaults)")
+		parallel  = flag.Int("parallel", 0, "worker pool size for multi-replicate experiments (0 = GOMAXPROCS)")
+		only      = flag.String("only", "", "comma-separated subset of experiments to run")
+		timeout   = flag.Duration("timeout", 0, "per-replicate wall-clock deadline (0 = none)")
+		keepGoing = flag.Bool("keep-going", false, "record a failing experiment's error and continue")
+		jsonOut   = flag.Bool("json", false, "emit structured results as JSON instead of text tables")
+		outPath   = flag.String("out", "", "write the JSON document to this file (implies -json)")
+		list      = flag.Bool("list", false, "list registered experiments and exit")
+		validate  = flag.String("validate", "", "validate a -json artifact against the registry and exit")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -87,7 +97,16 @@ func main() {
 		return
 	}
 
-	cfg := scenario.Config{Quick: *quick, Seed: *seed, Parallel: *parallel}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	cfg := scenario.Config{
+		Quick:     *quick,
+		Seed:      *seed,
+		Parallel:  *parallel,
+		Timeout:   *timeout,
+		KeepGoing: *keepGoing,
+		Ctx:       ctx,
+	}
 	selected := map[string]bool{}
 	for _, s := range strings.Split(*only, ",") {
 		if s = strings.TrimSpace(s); s != "" {
@@ -108,7 +127,14 @@ func main() {
 		start := time.Now() //lint:allow detrand host-side CLI timing how long table regeneration takes
 		res, err := e.Run(cfg)
 		if err != nil {
-			log.Fatalf("%s failed: %v", e.Name, err)
+			if !*keepGoing {
+				log.Fatalf("%s failed: %v", e.Name, err)
+			}
+			log.Printf("%s failed (continuing): %v", e.Name, err)
+			if asJSON {
+				doc.Results = append(doc.Results, namedResult{Name: e.Name, Err: err.Error()})
+			}
+			continue
 		}
 		//lint:allow detrand host-side CLI timing how long table regeneration takes
 		elapsed := time.Since(start).Seconds()

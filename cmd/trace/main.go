@@ -147,7 +147,11 @@ func recordProfile(name string, ops uint64) error {
 	if !ok {
 		return fmt.Errorf("unknown profile %q", name)
 	}
-	rec := workload.NewRecorder(workload.MustNew(prof).WithOpLimit(ops), 0)
+	prog, err := workload.New(prof)
+	if err != nil {
+		return err
+	}
+	rec := workload.NewRecorder(prog.WithOpLimit(ops), 0)
 	cfg := machine.DefaultConfig()
 	cfg.Cores = 1
 	m, err := machine.New(cfg)

@@ -23,6 +23,26 @@ func testMachine(t *testing.T, cores int) *machine.Machine {
 	return m
 }
 
+// mustProg builds a synthetic workload program, failing the test on error.
+func mustProg(tb testing.TB, prof workload.Profile) *workload.Synthetic {
+	tb.Helper()
+	s, err := workload.New(prof)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+// heavyTrio resolves the heavy-load profiles, failing the test on error.
+func heavyTrio(tb testing.TB) []workload.Profile {
+	tb.Helper()
+	trio, err := workload.HeavyLoadTrio()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return trio
+}
+
 func attackOptions(m *machine.Machine) attack.Options {
 	return attack.Options{
 		Mapper:     m.Mem.DRAM.Mapper(),
@@ -176,8 +196,8 @@ func TestDetectsUnderHeavyLoad(t *testing.T) {
 	if _, err := m.Spawn(0, a); err != nil {
 		t.Fatal(err)
 	}
-	for i, prof := range workload.HeavyLoadTrio() {
-		if _, err := m.Spawn(i+1, workload.MustNew(prof)); err != nil {
+	for i, prof := range heavyTrio(t) {
+		if _, err := m.Spawn(i+1, mustProg(t, prof)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -201,7 +221,7 @@ func TestDetectsUnderHeavyLoad(t *testing.T) {
 func TestNoDetectionOnStreamingWorkload(t *testing.T) {
 	m := testMachine(t, 1)
 	prof, _ := workload.ByName("libquantum")
-	if _, err := m.Spawn(0, workload.MustNew(prof)); err != nil {
+	if _, err := m.Spawn(0, mustProg(t, prof)); err != nil {
 		t.Fatal(err)
 	}
 	d := startDetector(t, m, Baseline())
@@ -219,7 +239,7 @@ func TestNoDetectionOnStreamingWorkload(t *testing.T) {
 func TestComputeBoundRarelyCrossesStage1(t *testing.T) {
 	m := testMachine(t, 1)
 	prof, _ := workload.ByName("h264ref")
-	if _, err := m.Spawn(0, workload.MustNew(prof)); err != nil {
+	if _, err := m.Spawn(0, mustProg(t, prof)); err != nil {
 		t.Fatal(err)
 	}
 	d := startDetector(t, m, Baseline())
@@ -287,7 +307,7 @@ func TestRefreshRateIsBounded(t *testing.T) {
 func TestDetectorStatsAccounting(t *testing.T) {
 	m := testMachine(t, 1)
 	prof, _ := workload.ByName("mcf")
-	if _, err := m.Spawn(0, workload.MustNew(prof)); err != nil {
+	if _, err := m.Spawn(0, mustProg(t, prof)); err != nil {
 		t.Fatal(err)
 	}
 	d := startDetector(t, m, Baseline())
@@ -315,7 +335,7 @@ func TestDetectorStatsAccounting(t *testing.T) {
 func TestDoubleStartIsIdempotent(t *testing.T) {
 	m := testMachine(t, 1)
 	prof, _ := workload.ByName("sjeng")
-	if _, err := m.Spawn(0, workload.MustNew(prof)); err != nil {
+	if _, err := m.Spawn(0, mustProg(t, prof)); err != nil {
 		t.Fatal(err)
 	}
 	d := startDetector(t, m, Baseline())
@@ -418,7 +438,7 @@ func TestStage1CadenceWithQuietMachine(t *testing.T) {
 	// A compute-bound program never escalates, so windows tick at tc.
 	m := testMachine(t, 1)
 	p, _ := workload.ByName("sjeng")
-	if _, err := m.Spawn(0, workload.MustNew(p)); err != nil {
+	if _, err := m.Spawn(0, mustProg(t, p)); err != nil {
 		t.Fatal(err)
 	}
 	d := startDetector(t, m, Baseline())

@@ -8,7 +8,6 @@ import (
 	"repro/internal/cache"
 	"repro/internal/dram"
 	"repro/internal/machine"
-	"repro/internal/workload"
 )
 
 // TestWrongMapperDegradesProtection documents the importance of the
@@ -177,14 +176,14 @@ func TestDetectsOnPaperTopology(t *testing.T) {
 	if _, err := m.SpawnShared(0, a); err != nil {
 		t.Fatal(err)
 	}
-	trio := workload.HeavyLoadTrio()
-	if _, err := m.SpawnShared(0, workload.MustNew(trio[0])); err != nil { // mcf
+	trio := heavyTrio(t)
+	if _, err := m.SpawnShared(0, mustProg(t, trio[0])); err != nil { // mcf
 		t.Fatal(err)
 	}
-	if _, err := m.SpawnShared(1, workload.MustNew(trio[1])); err != nil { // libquantum
+	if _, err := m.SpawnShared(1, mustProg(t, trio[1])); err != nil { // libquantum
 		t.Fatal(err)
 	}
-	if _, err := m.SpawnShared(1, workload.MustNew(trio[2])); err != nil { // omnetpp
+	if _, err := m.SpawnShared(1, mustProg(t, trio[2])); err != nil { // omnetpp
 		t.Fatal(err)
 	}
 	v := a.Victim()

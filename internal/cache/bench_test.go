@@ -12,13 +12,24 @@ type benchMem struct{}
 
 func (benchMem) Access(pa uint64, write bool, now sim.Cycles) sim.Cycles { return 200 }
 
+// sandyBridge builds the default hierarchy over the fixed-latency backend,
+// failing the benchmark on error.
+func sandyBridge(tb testing.TB) *Hierarchy {
+	tb.Helper()
+	h, err := NewHierarchy(SandyBridgeConfig(), benchMem{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return h
+}
+
 // BenchmarkHotPath measures the per-access cost of the hierarchy on the
 // access patterns that dominate real runs: the L1-hit steady state every
 // workload spends most of its time in, the CLFLUSH hammer kernel, a
 // streaming (all-miss) sweep, and a flush storm.
 func BenchmarkHotPath(b *testing.B) {
 	b.Run("l1-hit", func(b *testing.B) {
-		h := MustSandyBridge(benchMem{})
+		h := sandyBridge(b)
 		h.Access(0x1000, false, 0)
 		b.ReportAllocs()
 		b.ResetTimer()
@@ -29,7 +40,7 @@ func BenchmarkHotPath(b *testing.B) {
 	b.Run("l1-stream", func(b *testing.B) {
 		// 16 KB window: fits in L1, so the steady state is all L1 hits
 		// across 256 distinct lines.
-		h := MustSandyBridge(benchMem{})
+		h := sandyBridge(b)
 		const lines = 256
 		for i := 0; i < lines; i++ {
 			h.Access(uint64(i)*LineSize, false, 0)
@@ -43,7 +54,7 @@ func BenchmarkHotPath(b *testing.B) {
 	b.Run("hammer", func(b *testing.B) {
 		// The CLFLUSH hammer kernel: two addresses in distinct rows, each
 		// access followed by a flush, so every access misses to memory.
-		h := MustSandyBridge(benchMem{})
+		h := sandyBridge(b)
 		a1, a2 := uint64(0x10000), uint64(0x30000)
 		b.ReportAllocs()
 		b.ResetTimer()
@@ -57,7 +68,7 @@ func BenchmarkHotPath(b *testing.B) {
 	})
 	b.Run("stream", func(b *testing.B) {
 		// Streaming sweep over 64 MB: misses, fills and LLC evictions.
-		h := MustSandyBridge(benchMem{})
+		h := sandyBridge(b)
 		const window = 64 << 20
 		b.ReportAllocs()
 		b.ResetTimer()
@@ -67,7 +78,7 @@ func BenchmarkHotPath(b *testing.B) {
 		}
 	})
 	b.Run("flush-storm", func(b *testing.B) {
-		h := MustSandyBridge(benchMem{})
+		h := sandyBridge(b)
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -80,7 +91,7 @@ func BenchmarkHotPath(b *testing.B) {
 // TestAccessSteadyStateAllocs pins the allocation-free property of the hot
 // path: a cache hit in the steady state must not allocate.
 func TestAccessSteadyStateAllocs(t *testing.T) {
-	h := MustSandyBridge(benchMem{})
+	h := sandyBridge(t)
 	h.Access(0x1000, false, 0)
 	h.Access(0x2000, false, 1)
 	now := sim.Cycles(2)

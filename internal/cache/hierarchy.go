@@ -140,16 +140,6 @@ func NewHierarchy(cfg HierarchyConfig, mem Memory) (*Hierarchy, error) {
 	return h, nil
 }
 
-// MustSandyBridge builds the default hierarchy or panics; convenience for
-// tests and examples.
-func MustSandyBridge(mem Memory) *Hierarchy {
-	h, err := NewHierarchy(SandyBridgeConfig(), mem)
-	if err != nil {
-		panic(err)
-	}
-	return h
-}
-
 // Level returns the i-th level (0 = L1).
 func (h *Hierarchy) Level(i int) *Level { return h.levels[i] }
 

@@ -400,8 +400,11 @@ func TestPrefetchMaintainsInclusion(t *testing.T) {
 	}
 }
 
-func TestMustSandyBridgeAndSourceStrings(t *testing.T) {
-	h := MustSandyBridge(&memStub{latency: 100})
+func TestSandyBridgeConfigAndSourceStrings(t *testing.T) {
+	h, err := NewHierarchy(SandyBridgeConfig(), &memStub{latency: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if h.LLC().Config().Ways != 12 {
 		t.Errorf("LLC ways = %d", h.LLC().Config().Ways)
 	}

@@ -2,7 +2,7 @@
 // compares ANVIL against (§1.2, §5.2):
 //
 //   - refresh-rate scaling (the deployed BIOS mitigation; configured on the
-//     DRAM module via Timing.WithRefreshScale — see DoubleRefresh),
+//     DRAM module via Timing.RefreshScaled — see DoubleRefresh),
 //   - PARA, probabilistic adjacent row activation (Kim et al. [24]),
 //   - TRR, targeted row refresh with windowed activation counting (the
 //     LPDDR4/DDR4 mechanism [19, 21]),
@@ -34,9 +34,8 @@ type Defense interface {
 }
 
 // DoubleRefresh documents the refresh-rate mitigation: it has no runtime
-// component — build the DRAM module with
-// cfg.Timing = cfg.Timing.WithRefreshScale(2) instead. The type exists so
-// comparison tables can carry a uniform Defense value.
+// component — build the DRAM module with Timing.RefreshScaled(2) instead.
+// The type exists so comparison tables can carry a uniform Defense value.
 type DoubleRefresh struct{}
 
 // Name implements Defense.

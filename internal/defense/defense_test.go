@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/cache"
+	"repro/internal/dram"
 	"repro/internal/machine"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -165,7 +166,7 @@ func TestDoubleRefreshScalingStillFlips(t *testing.T) {
 	// the double-sided CLFLUSH attack (first flip ~14ms < 32ms).
 	cfg := machine.DefaultConfig()
 	cfg.Cores = 1
-	cfg.Memory.DRAM.Timing = cfg.Memory.DRAM.Timing.WithRefreshScale(2)
+	cfg.Memory.DRAM.Timing = refreshScaled(t, cfg.Memory.DRAM.Timing, 2)
 	m, err := machine.New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -202,7 +203,7 @@ func TestQuadRefreshScalingStopsThisAttack(t *testing.T) {
 	// module the margin is what matters: flips require beating the sweep.
 	cfg := machine.DefaultConfig()
 	cfg.Cores = 1
-	cfg.Memory.DRAM.Timing = cfg.Memory.DRAM.Timing.WithRefreshScale(8) // 8ms window
+	cfg.Memory.DRAM.Timing = refreshScaled(t, cfg.Memory.DRAM.Timing, 8) // 8ms window
 	m, err := machine.New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -288,11 +289,26 @@ func TestPTRRTableEvictionUnderScan(t *testing.T) {
 	}
 }
 
+// refreshScaled scales a timing's refresh period, failing the test on a bad
+// scale.
+func refreshScaled(t *testing.T, tm dram.Timing, scale int) dram.Timing {
+	t.Helper()
+	out, err := tm.RefreshScaled(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
 // workloadStream returns a libquantum-style streaming program.
 func workloadStream() machine.Program {
 	p, ok := workload.ByName("libquantum")
 	if !ok {
 		panic("missing libquantum profile")
 	}
-	return workload.MustNew(p)
+	s, err := workload.New(p)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }

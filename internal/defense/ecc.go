@@ -20,7 +20,8 @@ type ECC struct {
 	interval  sim.Cycles
 	wordBits  int
 	mod       *dram.Module
-	processed int // flips already classified
+	processed int // hammer flips already classified
+	transient int // fault-injected transient flips already classified
 	lastScrub sim.Cycles
 
 	corrected     uint64
@@ -63,16 +64,19 @@ func (d *ECC) Attach(m *dram.Module) {
 	})
 }
 
-// Scrub classifies all bit flips that occurred since the previous pass:
-// words with exactly one flip are corrected; words with more are
-// uncorrectable. Explicit calls let harnesses force a final pass.
+// Scrub classifies all bit flips that occurred since the previous pass —
+// hammer-induced flips and fault-injected transient errors alike, since the
+// scrubber cannot tell them apart: words with exactly one flip are
+// corrected; words with more are uncorrectable. Explicit calls let harnesses
+// force a final pass.
 func (d *ECC) Scrub(now sim.Cycles) {
 	if d.mod == nil {
 		return
 	}
 	d.lastScrub = now - now%d.interval
 	flips := d.mod.Flips()
-	if d.processed >= len(flips) {
+	transient := d.mod.TransientFlips()
+	if d.processed >= len(flips) && d.transient >= len(transient) {
 		return
 	}
 	type word struct {
@@ -82,7 +86,11 @@ func (d *ECC) Scrub(now sim.Cycles) {
 	for _, f := range flips[d.processed:] {
 		counts[word{f.Bank, f.Row, f.Bit / d.wordBits}]++
 	}
+	for _, f := range transient[d.transient:] {
+		counts[word{f.Bank, f.Row, f.Bit / d.wordBits}]++
+	}
 	d.processed = len(flips)
+	d.transient = len(transient)
 	for _, n := range counts {
 		if n == 1 {
 			d.corrected++

@@ -4,6 +4,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/dram"
+	"repro/internal/machine"
 	"repro/internal/sim"
 )
 
@@ -89,5 +91,63 @@ func TestMultiCellRowsFlipProgressively(t *testing.T) {
 	}
 	if idx(5) > idx(700) {
 		t.Errorf("flip order %v: bit 5 (400K) should precede bit 700 (430K)", bits)
+	}
+}
+
+// eccStreamMachine builds a machine with no planted weak cells, the given
+// transient-error rates injected into DRAM, and the scrubber attached, then
+// runs a streaming workload so activations (and scrub passes) happen.
+func eccStreamMachine(t *testing.T, d *ECC, correctable, uncorrectable float64) {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	cfg.Cores = 1
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Mem.DRAM.InjectFaults(dram.FaultConfig{
+		ECCCorrectableRate:   correctable,
+		ECCUncorrectableRate: uncorrectable,
+	}, sim.NewRand(21)); err != nil {
+		t.Fatal(err)
+	}
+	d.Attach(m.Mem.DRAM)
+	if _, err := m.Spawn(0, workloadStream()); err != nil {
+		t.Fatal(err)
+	}
+	runFor(t, m, 20*time.Millisecond)
+	if m.Mem.DRAM.FlipCount() != 0 {
+		t.Fatal("streaming run produced hammer flips; transient test vacuous")
+	}
+	d.Scrub(m.Freq.Cycles(20 * time.Millisecond))
+}
+
+// TestECCCorrectsTransientSingles: injected single-bit transients are
+// repaired by the scrubber, not escalated to machine checks.
+func TestECCCorrectsTransientSingles(t *testing.T) {
+	d, err := NewECC(sim.DefaultFreq.Cycles(2*time.Millisecond), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eccStreamMachine(t, d, 1e-4, 0)
+	if d.Corrected() == 0 {
+		t.Error("scrubber corrected no transient singles")
+	}
+	if d.Uncorrectable() != 0 {
+		t.Errorf("isolated singles reported uncorrectable: %d", d.Uncorrectable())
+	}
+}
+
+// TestECCFailsOnTransientDoubles: injected double-bit-per-word transients
+// are uncorrectable — the §1.2 SECDED failure mode, now reachable without a
+// hammering attack.
+func TestECCFailsOnTransientDoubles(t *testing.T) {
+	d, err := NewECC(sim.DefaultFreq.Cycles(2*time.Millisecond), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eccStreamMachine(t, d, 0, 1e-4)
+	if d.Uncorrectable() == 0 {
+		t.Errorf("transient doubles were not reported uncorrectable (corrected=%d)", d.Corrected())
 	}
 }

@@ -126,24 +126,12 @@ func (t Timing) TREFI() sim.Cycles {
 // RefreshScaled returns a copy of t with the refresh period divided by
 // scale — i.e. RefreshScaled(2) models the industry "double refresh rate"
 // mitigation (32 ms window), RefreshScaled(4) a 16 ms window. It rejects
-// non-positive scales, so it is the right entry point when the scale comes
-// from user configuration (flags, config files).
+// non-positive scales, so callers plumbing scales from configuration
+// (flags, scenario specs) report a proper error instead of panicking.
 func (t Timing) RefreshScaled(scale int) (Timing, error) {
 	if scale <= 0 {
 		return Timing{}, fmt.Errorf("dram: refresh scale must be positive, got %d", scale)
 	}
 	t.RefreshPeriod = t.RefreshPeriod / sim.Cycles(scale)
 	return t, nil
-}
-
-// WithRefreshScale is RefreshScaled for compile-time-constant scales: it
-// panics instead of returning an error, which keeps config-mutation closures
-// like `cfg.Timing = cfg.Timing.WithRefreshScale(2)` chainable. Validate
-// user-supplied scales with RefreshScaled instead.
-func (t Timing) WithRefreshScale(scale int) Timing {
-	out, err := t.RefreshScaled(scale)
-	if err != nil {
-		panic(err)
-	}
-	return out
 }

@@ -15,6 +15,16 @@ func testConfig() Config {
 	return cfg
 }
 
+// mustMapper builds a linear mapper, failing the test on error.
+func mustMapper(tb testing.TB, g Geometry, bankHash bool) *LinearMapper {
+	tb.Helper()
+	m, err := NewLinearMapper(g, bankHash)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
 func mustModule(t *testing.T, cfg Config) *Module {
 	t.Helper()
 	m, err := New(cfg)
@@ -65,9 +75,12 @@ func TestTimingDefaults(t *testing.T) {
 	if trefi < 7800*time.Nanosecond || trefi > 7813*time.Nanosecond {
 		t.Errorf("tREFI = %v, want ~7.8125us", trefi)
 	}
-	double := tm.WithRefreshScale(2)
+	double, err := tm.RefreshScaled(2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if double.RefreshPeriod != tm.RefreshPeriod/2 {
-		t.Error("WithRefreshScale(2) did not halve the period")
+		t.Error("RefreshScaled(2) did not halve the period")
 	}
 }
 
@@ -81,7 +94,7 @@ func TestTimingValidateRejectsDisorder(t *testing.T) {
 
 func TestLinearMapperRoundTrip(t *testing.T) {
 	for _, hash := range []bool{false, true} {
-		m := MustLinearMapper(DefaultGeometry(), hash)
+		m := mustMapper(t, DefaultGeometry(), hash)
 		err := quick.Check(func(pa uint64) bool {
 			pa %= m.Geometry().Size()
 			return m.Unmap(m.Map(pa)) == pa
@@ -95,7 +108,7 @@ func TestLinearMapperRoundTrip(t *testing.T) {
 func TestLinearMapperAdjacency(t *testing.T) {
 	// Consecutive rows at the same bank/col must differ by exactly the
 	// row-pitch in physical address space when hashing is off.
-	m := MustLinearMapper(DefaultGeometry(), false)
+	m := mustMapper(t, DefaultGeometry(), false)
 	a := m.Unmap(Coord{Bank: 3, Row: 100, Col: 0})
 	b := m.Unmap(Coord{Bank: 3, Row: 101, Col: 0})
 	pitch := uint64(DefaultGeometry().RowBytes * DefaultGeometry().BanksPerRank * DefaultGeometry().Ranks)
@@ -186,7 +199,11 @@ func TestDoubleRefreshStallsMoreOften(t *testing.T) {
 	count := func(scale int) uint64 {
 		cfg := testConfig()
 		cfg.StaggerRanks = false
-		cfg.Timing = cfg.Timing.WithRefreshScale(scale)
+		scaled, err := cfg.Timing.RefreshScaled(scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Timing = scaled
 		m := mustModule(t, cfg)
 		pa := m.Mapper().Unmap(Coord{Bank: 0, Row: 1, Col: 0})
 		// Probe at a fixed cadence unrelated to tREFI.
@@ -543,5 +560,25 @@ func TestDisturbQuickNoFlipBelowThreshold(t *testing.T) {
 	}, &quick.Config{MaxCount: 20})
 	if err != nil {
 		t.Error(err)
+	}
+}
+
+func TestRefreshScaledRejectsNonPositive(t *testing.T) {
+	tm := DefaultTiming(sim.DefaultFreq)
+	for _, scale := range []int{0, -1} {
+		if _, err := tm.RefreshScaled(scale); err == nil {
+			t.Errorf("RefreshScaled(%d) accepted", scale)
+		}
+	}
+}
+
+func TestNewLinearMapperRejectsNonPowerOfTwo(t *testing.T) {
+	g := DefaultGeometry()
+	g.RowsPerBank = 3000 // not a power of two
+	if _, err := NewLinearMapper(g, false); err == nil {
+		t.Error("non-power-of-two geometry accepted")
+	}
+	if _, err := NewLinearMapper(Geometry{}, false); err == nil {
+		t.Error("zero geometry accepted")
 	}
 }

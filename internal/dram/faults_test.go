@@ -1,0 +1,124 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestInjectFaultsValidates(t *testing.T) {
+	m := mustModule(t, testConfig())
+	if err := m.InjectFaults(FaultConfig{RefreshSkipRate: 2}, sim.NewRand(1)); err == nil {
+		t.Error("skip rate 2 accepted")
+	}
+	if err := m.InjectFaults(FaultConfig{ECCCorrectableRate: -0.5}, sim.NewRand(1)); err == nil {
+		t.Error("negative ECC rate accepted")
+	}
+}
+
+// TestRefreshSkipPersistsDisturbance: a healthy module's periodic sweep
+// clears a victim's accumulated disturbance; a module that skips its REF
+// slots leaves the charge leaking.
+func TestRefreshSkipPersistsDisturbance(t *testing.T) {
+	run := func(skip float64) (float64, FaultStats) {
+		cfg := testConfig()
+		m := mustModule(t, cfg)
+		if skip > 0 {
+			if err := m.InjectFaults(FaultConfig{RefreshSkipRate: skip}, sim.NewRand(9)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		const victimRow = 100
+		m.PlantWeakRow(0, victimRow, 1000)
+		agg := m.Mapper().Unmap(Coord{Bank: 0, Row: victimRow + 1, Col: 0})
+		other := m.Mapper().Unmap(Coord{Bank: 0, Row: 3000, Col: 0})
+		var now sim.Cycles
+		for i := 0; i < 600; i++ {
+			m.Access(agg, false, now)
+			now += 200
+			m.Access(other, false, now)
+			now += 200
+		}
+		// Jump a full refresh period: every row has had a scheduled sweep.
+		now += cfg.Timing.RefreshPeriod
+		return m.VictimUnits(0, victimRow, now), m.FaultStats()
+	}
+	if u, _ := run(0); u != 0 {
+		t.Errorf("healthy module kept %g units past a full refresh period", u)
+	}
+	u, st := run(1)
+	if u == 0 {
+		t.Error("skip-rate-1 module cleared disturbance despite skipping every REF slot")
+	}
+	if st.SkippedRefreshes == 0 {
+		t.Error("no skipped REF slots counted at rate 1")
+	}
+}
+
+// TestTransientFlipsStaySeparate: injected transient errors surface through
+// TransientFlips and the fault counters, never through the hammer-flip
+// observables.
+func TestTransientFlipsStaySeparate(t *testing.T) {
+	m := mustModule(t, testConfig())
+	if err := m.InjectFaults(FaultConfig{ECCCorrectableRate: 0.01, ECCUncorrectableRate: 0.005},
+		sim.NewRand(3)); err != nil {
+		t.Fatal(err)
+	}
+	a := m.Mapper().Unmap(Coord{Bank: 0, Row: 10, Col: 0})
+	b := m.Mapper().Unmap(Coord{Bank: 0, Row: 2000, Col: 0})
+	var now sim.Cycles
+	for i := 0; i < 2000; i++ {
+		m.Access(a, false, now)
+		now += 200
+		m.Access(b, false, now)
+		now += 200
+	}
+	st := m.FaultStats()
+	if st.TransientSingle == 0 || st.TransientDouble == 0 {
+		t.Fatalf("no transient events after 4000 activations: %+v", st)
+	}
+	flips := m.TransientFlips()
+	if want := int(st.TransientSingle + 2*st.TransientDouble); len(flips) != want {
+		t.Errorf("transient flips = %d, want %d (%+v)", len(flips), want, st)
+	}
+	if m.FlipCount() != 0 {
+		t.Errorf("transient errors leaked into hammer flips: %d", m.FlipCount())
+	}
+}
+
+// TestTransientDoubleHitsOneWord: a double event's two flips land in the
+// same 64-bit word of the same row — the SECDED-defeating failure mode.
+func TestTransientDoubleHitsOneWord(t *testing.T) {
+	m := mustModule(t, testConfig())
+	if err := m.InjectFaults(FaultConfig{ECCUncorrectableRate: 0.01}, sim.NewRand(4)); err != nil {
+		t.Fatal(err)
+	}
+	a := m.Mapper().Unmap(Coord{Bank: 0, Row: 10, Col: 0})
+	b := m.Mapper().Unmap(Coord{Bank: 0, Row: 2000, Col: 0})
+	var now sim.Cycles
+	for i := 0; i < 2000; i++ {
+		m.Access(a, false, now)
+		now += 200
+		m.Access(b, false, now)
+		now += 200
+	}
+	flips := m.TransientFlips()
+	if len(flips) == 0 {
+		t.Fatal("no transient flips at a 1% double rate")
+	}
+	if len(flips)%2 != 0 {
+		t.Fatalf("double-only faults produced an odd flip count %d", len(flips))
+	}
+	for i := 0; i < len(flips); i += 2 {
+		f1, f2 := flips[i], flips[i+1]
+		if f1.Bank != f2.Bank || f1.Row != f2.Row {
+			t.Fatalf("pair %d spans rows: %+v vs %+v", i/2, f1, f2)
+		}
+		if f1.Bit/64 != f2.Bit/64 {
+			t.Errorf("pair %d spans words: bits %d and %d", i/2, f1.Bit, f2.Bit)
+		}
+		if f1.Bit == f2.Bit {
+			t.Errorf("pair %d hit the same bit %d twice", i/2, f1.Bit)
+		}
+	}
+}

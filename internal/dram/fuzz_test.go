@@ -9,7 +9,7 @@ func FuzzMapperRoundTrip(f *testing.F) {
 	f.Add(uint64(0x1234_5678))
 	f.Add(uint64(1) << 31)
 	g := DefaultGeometry()
-	lin := MustLinearMapper(g, true)
+	lin := mustMapper(f, g, true)
 	xm, err := NewXORMapper(g, SandyBridgeMasks(g))
 	if err != nil {
 		f.Fatal(err)

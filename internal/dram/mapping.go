@@ -58,16 +58,6 @@ func NewLinearMapper(g Geometry, bankHash bool) (*LinearMapper, error) {
 	}, nil
 }
 
-// MustLinearMapper is NewLinearMapper that panics on error; for use with
-// known-good geometries in tests and defaults.
-func MustLinearMapper(g Geometry, bankHash bool) *LinearMapper {
-	m, err := NewLinearMapper(g, bankHash)
-	if err != nil {
-		panic(err)
-	}
-	return m
-}
-
 // Geometry implements Mapper.
 func (m *LinearMapper) Geometry() Geometry { return m.geom }
 

@@ -90,6 +90,8 @@ type Module struct {
 	disturbed   []bankDisturb         // per-bank dense accumulators, index = bank
 	planted     map[uint64][]weakCell // explicit weak cells (tests, harness)
 	flips       []BitFlip
+	transient   []BitFlip    // fault-injected transient errors (see TransientFlips)
+	fault       *moduleFault // nil unless InjectFaults installed one
 	hooks       []ActivateHook
 	interceptor func(c Coord, now sim.Cycles) bool
 
@@ -326,6 +328,17 @@ func (m *Module) lastScheduledRefresh(row int, now sim.Cycles) sim.Cycles {
 		return 0
 	}
 	kLast := kNow - (kNow-bin)%cmds
+	if f := m.fault; f != nil && f.cfg.RefreshSkipRate > 0 {
+		// Walk back over skipped REF slots: a skipped sweep left the row's
+		// charge (and disturbance accumulator) untouched, so the effective
+		// last refresh is the most recent non-skipped slot.
+		for i := 0; i < maxSkipWalk && f.skipsSlot(kLast); i++ {
+			if kLast < cmds {
+				return 0 // the row's very first sweep was skipped
+			}
+			kLast -= cmds
+		}
+	}
 	return sim.Cycles(kLast) * m.trefi
 }
 
@@ -461,6 +474,10 @@ func (m *Module) activate(c Coord, now sim.Cycles) {
 	if far := m.cfg.Disturb.FarCouplingRatio; far > 0 {
 		m.disturb(c.Bank, c.Row-2, +1, far, now)
 		m.disturb(c.Bank, c.Row+2, -1, far, now)
+	}
+
+	if f := m.fault; f != nil && (f.cfg.ECCCorrectableRate > 0 || f.cfg.ECCUncorrectableRate > 0) {
+		m.injectTransient(c, now)
 	}
 
 	for _, h := range m.hooks {

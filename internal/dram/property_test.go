@@ -212,7 +212,7 @@ func TestXORMapperSpreadsRowsAcrossBanks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lin := MustLinearMapper(g, false)
+	lin := mustMapper(t, g, false)
 	// Same plain address, consecutive rows: the XOR map should move it
 	// across banks where the plain map keeps the bank fixed.
 	banksXOR := map[int]bool{}

@@ -47,7 +47,7 @@ func table1Run(kind scenario.AttackKind, seed uint64) (Table1Row, error) {
 // attacks run as independent replicates across the configured worker pool.
 func Table1(cfg Config) ([]Table1Row, error) {
 	kinds := scenario.AttackKinds()
-	return scenario.RunMany(len(kinds), cfg.Workers(), func(rep int) (Table1Row, error) {
+	return scenario.RunReplicates(cfg, len(kinds), func(rep int) (Table1Row, error) {
 		return table1Run(kinds[rep], cfg.Seed)
 	})
 }
@@ -93,7 +93,7 @@ func table1SweepSeeds(cfg Config) int {
 // parallelism changes wall-clock time only, never a reported number.
 func Table1Sweep(cfg Config) ([]Table1SweepRow, error) {
 	seeds := table1SweepSeeds(cfg)
-	reps, err := scenario.RunMany(seeds, cfg.Workers(), func(rep int) ([]Table1Row, error) {
+	reps, err := scenario.RunReplicates(cfg, seeds, func(rep int) ([]Table1Row, error) {
 		return Table1(Config{
 			Quick:    cfg.Quick,
 			Seed:     scenario.ReplicateSeed(cfg.Seed, rep),

@@ -84,7 +84,7 @@ func Table3(cfg Config) ([]Table3Row, error) {
 	// identifying and refreshing the victims. Trial 0 runs the full horizon
 	// and also supplies the refresh-rate and flip columns; later trials are
 	// latency-only.
-	runs, err := scenario.RunMany(len(points)*trials, cfg.Workers(), func(rep int) (table3Trial, error) {
+	runs, err := scenario.RunReplicates(cfg, len(points)*trials, func(rep int) (table3Trial, error) {
 		p := points[rep/trials]
 		trial := rep % trials
 		seed := cfg.Seed + uint64(trial)*7919

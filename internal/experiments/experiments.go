@@ -21,8 +21,8 @@ const victimThreshold = scenario.DefaultWeakUnits
 // experiments (mcf, libquantum, omnetpp).
 func heavyLoadNames() []scenario.Workload {
 	var out []scenario.Workload
-	for _, prof := range workload.HeavyLoadTrio() {
-		out = append(out, scenario.Workload{Name: prof.Name})
+	for _, name := range workload.HeavyLoadNames() {
+		out = append(out, scenario.Workload{Name: name})
 	}
 	return out
 }

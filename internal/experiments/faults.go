@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/report"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// dropRates is the degraded-sampling sweep: the fraction of PEBS samples the
+// broken PMU loses.
+var dropRates = []float64{0, 0.05, 0.10, 0.25}
+
+// DegradedSamplingRow is one point of the degraded-sampling sweep: ANVIL's
+// flip prevention when the PMU silently drops a fraction of its samples.
+type DegradedSamplingRow struct {
+	DropRate float64 `json:"drop_rate"`
+	// Flips / BaselineFlips sum hammer flips across the paired replicates,
+	// with the detector attached and without any defense.
+	Flips         int `json:"flips"`
+	BaselineFlips int `json:"baseline_flips"`
+	// Prevention is 1 - Flips/BaselineFlips: the fraction of undefended
+	// flips the degraded detector still stops.
+	Prevention float64 `json:"prevention"`
+	Detections int     `json:"detections"`
+	// InjectedDrops / SamplesTaken report the injected noise level.
+	InjectedDrops uint64 `json:"injected_drops"`
+	SamplesTaken  uint64 `json:"samples_taken"`
+}
+
+// degradedSpec is the sweep's scenario: the §4.5 future-DRAM setting (half
+// disturbance threshold, flat-out double-sided attack) against ANVIL-heavy,
+// whose MinRowSamples gate sits close to the samples an attack row collects
+// per window — the marginal regime where lost samples actually cost
+// detections.
+func degradedSamplingSpec(seed uint64, drop float64) scenario.Spec {
+	s := scenario.Spec{
+		Cores:        1,
+		Seed:         seed,
+		DisturbScale: 0.5,
+		Attack: &scenario.Attack{
+			Kind:      scenario.DoubleSidedFlush,
+			WeakUnits: victimThreshold / 2,
+		},
+		Defense: scenario.ANVILHeavy,
+	}
+	if drop > 0 {
+		s.Faults.PMU.SampleDropRate = drop
+	}
+	return s
+}
+
+// DegradedSampling sweeps ANVIL's flip prevention against PMU sample-drop
+// rates. Every drop rate runs the same paired replicate seeds (and the
+// no-defense baseline runs once per seed), so the sweep isolates the fault
+// injector: the only thing that changes along a row is the drop rate.
+func DegradedSampling(cfg Config) ([]DegradedSamplingRow, error) {
+	dur := cfg.ScaleDur(512 * time.Millisecond)
+	reps := 6
+	if cfg.Quick {
+		reps = 3
+	}
+	// Replicate layout: point 0 is the no-defense baseline, points 1.. are
+	// the drop rates; all points of one seed share that seed.
+	points := 1 + len(dropRates)
+	runs, err := scenario.RunReplicates(cfg, reps*points, func(rep int) (scenario.Results, error) {
+		seedIdx, point := rep/points, rep%points
+		seed := scenario.ReplicateSeed(cfg.Seed, seedIdx)
+		var spec scenario.Spec
+		if point == 0 {
+			spec = degradedSamplingSpec(seed, 0)
+			spec.Defense = scenario.NoDefense
+		} else {
+			spec = degradedSamplingSpec(seed, dropRates[point-1])
+		}
+		in, err := scenario.Build(spec)
+		if err != nil {
+			return scenario.Results{}, err
+		}
+		if err := in.RunFor(dur); err != nil {
+			return scenario.Results{}, err
+		}
+		return in.Results(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	baseline := 0
+	for seedIdx := 0; seedIdx < reps; seedIdx++ {
+		baseline += runs[seedIdx*points].Flips
+	}
+	if baseline == 0 {
+		return nil, fmt.Errorf("experiments: degraded-sampling baseline produced no flips; sweep vacuous")
+	}
+	rows := make([]DegradedSamplingRow, len(dropRates))
+	for i, rate := range dropRates {
+		row := DegradedSamplingRow{DropRate: rate, BaselineFlips: baseline}
+		for seedIdx := 0; seedIdx < reps; seedIdx++ {
+			r := runs[seedIdx*points+1+i]
+			row.Flips += r.Flips
+			row.Detections += r.Detections
+			row.InjectedDrops += r.PMUInjectedDrops
+			row.SamplesTaken += r.SamplesTaken
+		}
+		row.Prevention = 1 - float64(row.Flips)/float64(baseline)
+		rows[i] = row
+	}
+	return rows, nil
+}
+
+// RenderDegradedSampling formats the sweep.
+func RenderDegradedSampling(rows []DegradedSamplingRow) string {
+	t := report.New("Degraded Sampling: ANVIL-heavy flip prevention vs PMU sample-drop rate (future DRAM, 110K-access threshold)",
+		"Drop Rate", "Prevention", "Flips (def/base)", "Detections", "Samples (taken/dropped)")
+	for _, r := range rows {
+		t.AddStrings(
+			fmt.Sprintf("%.0f%%", r.DropRate*100),
+			fmt.Sprintf("%.3f", r.Prevention),
+			fmt.Sprintf("%d/%d", r.Flips, r.BaselineFlips),
+			fmt.Sprintf("%d", r.Detections),
+			fmt.Sprintf("%d/%d", r.SamplesTaken, r.InjectedDrops),
+		)
+	}
+	return t.String()
+}
+
+// faultProfile is one named degraded-hardware configuration of the fault
+// matrix.
+type faultProfile struct {
+	name     string
+	desc     string
+	faults   fault.Spec
+	eccScrub time.Duration
+}
+
+// faultProfiles enumerates the matrix: one clean control plus one profile
+// per degraded subsystem.
+func faultProfiles() []faultProfile {
+	return []faultProfile{
+		{name: "clean", desc: "no injected faults"},
+		{name: "degraded-pebs", desc: "25% sample drops, 25% skid up to 8 lines, 16-entry buffer",
+			faults: fault.Spec{PMU: fault.PMUSpec{
+				SampleDropRate: 0.25, SampleSkidRate: 0.25, SkidMaxLines: 8, BufferCap: 16,
+			}}},
+		{name: "slow-interrupts", desc: "timers late up to 20us, PMIs cost up to 5us",
+			faults: fault.Spec{Machine: fault.MachineSpec{
+				TimerMaxDelay: sim.DefaultFreq.Cycles(20 * time.Microsecond),
+				IRQMaxCost:    sim.DefaultFreq.Cycles(5 * time.Microsecond),
+			}}},
+		{name: "flaky-refresh", desc: "25% of REF slots skipped",
+			faults: fault.Spec{DRAM: fault.DRAMSpec{RefreshSkipRate: 0.25}}},
+		{name: "noisy-ecc", desc: "transient ECC errors under an 8ms scrubber",
+			faults: fault.Spec{DRAM: fault.DRAMSpec{
+				ECCCorrectableRate: 2e-5, ECCUncorrectableRate: 2e-6,
+			}},
+			eccScrub: 8 * time.Millisecond},
+	}
+}
+
+// FaultMatrixRow is one degraded-hardware profile's outcome against the
+// standard attack under ANVIL-baseline.
+type FaultMatrixRow struct {
+	Profile string `json:"profile"`
+	Desc    string `json:"desc"`
+	// Err records a failed replicate (keep-going: the rest of the matrix
+	// still reports).
+	Err string `json:"err,omitempty"`
+	scenario.Results
+}
+
+// FaultMatrix runs the double-sided CLFLUSH attack under ANVIL-baseline on
+// every degraded-hardware profile. The sweep always keeps going: one broken
+// profile reports its error in its row instead of sinking the matrix.
+func FaultMatrix(cfg Config) ([]FaultMatrixRow, error) {
+	dur := cfg.ScaleDur(256 * time.Millisecond)
+	profiles := faultProfiles()
+	opts := cfg.RunOptions()
+	opts.KeepGoing = true
+	runs, err := scenario.RunManyCtx(cfg.Context(), len(profiles), opts,
+		func(_ context.Context, rep int) (scenario.Results, error) {
+			p := profiles[rep]
+			in, err := scenario.Build(scenario.Spec{
+				Cores:    1,
+				Seed:     cfg.Seed,
+				Attack:   &scenario.Attack{Kind: scenario.DoubleSidedFlush},
+				Defense:  scenario.ANVILBaseline,
+				Faults:   p.faults,
+				ECCScrub: p.eccScrub,
+			})
+			if err != nil {
+				return scenario.Results{}, err
+			}
+			if err := in.RunFor(dur); err != nil {
+				return scenario.Results{}, err
+			}
+			return in.Results(), nil
+		})
+	rows := make([]FaultMatrixRow, len(profiles))
+	for i, p := range profiles {
+		rows[i] = FaultMatrixRow{Profile: p.name, Desc: p.desc, Results: runs[i]}
+	}
+	if err != nil {
+		se, ok := err.(*scenario.SweepError)
+		if !ok {
+			return nil, err
+		}
+		for _, f := range se.Failures {
+			rows[f.Rep].Err = f.Err.Error()
+		}
+	}
+	return rows, nil
+}
+
+// RenderFaultMatrix formats the matrix.
+func RenderFaultMatrix(rows []FaultMatrixRow) string {
+	t := report.New("Fault Matrix: double-sided CLFLUSH vs ANVIL-baseline on degraded hardware",
+		"Profile", "Flips", "Detections", "Refreshes", "Injected Noise")
+	for _, r := range rows {
+		if r.Err != "" {
+			t.AddStrings(r.Profile, "-", "-", "-", "error: "+r.Err)
+			continue
+		}
+		noise := "-"
+		switch {
+		case r.PMUInjectedDrops > 0 || r.PMUSkiddedSamples > 0:
+			noise = fmt.Sprintf("%d drops, %d skids", r.PMUInjectedDrops, r.PMUSkiddedSamples)
+		case r.TimersDelayed > 0:
+			noise = fmt.Sprintf("%d late timers", r.TimersDelayed)
+		case r.DRAMSkippedRefreshes > 0:
+			noise = fmt.Sprintf("%d skipped REFs", r.DRAMSkippedRefreshes)
+		case r.ECCTransientSingle > 0 || r.ECCTransientDouble > 0:
+			noise = fmt.Sprintf("%d/%d ECC corr/uncorr", r.ECCCorrected, r.ECCUncorrectable)
+		}
+		t.AddStrings(r.Profile,
+			fmt.Sprintf("%d", r.Flips),
+			fmt.Sprintf("%d", r.Detections),
+			fmt.Sprintf("%d", r.DefenseRefreshes),
+			noise)
+	}
+	return t.String()
+}

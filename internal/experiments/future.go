@@ -34,7 +34,7 @@ func Section45(cfg Config) ([]Section45Row, error) {
 		{"fast attack (110K accesses in ~7ms)", 0, scenario.ANVILHeavy, "ANVIL-heavy"},
 		{"slow attack (110K accesses over 64ms)", 1200, scenario.ANVILLight, "ANVIL-light"},
 	}
-	return scenario.RunMany(len(points), cfg.Workers(), func(rep int) (Section45Row, error) {
+	return scenario.RunReplicates(cfg, len(points), func(rep int) (Section45Row, error) {
 		p := points[rep]
 		in, err := scenario.Build(scenario.Spec{
 			Cores:        1,
@@ -101,7 +101,7 @@ func Defenses(cfg Config) ([]DefenseRow, error) {
 		{"CRA counters 100K", 1, scenario.CRA, "new hardware"},
 		{"ARMOR hot-row buffer", 1, scenario.ARMOR, "new hardware"},
 	}
-	return scenario.RunMany(len(entries), cfg.Workers(), func(rep int) (DefenseRow, error) {
+	return scenario.RunReplicates(cfg, len(entries), func(rep int) (DefenseRow, error) {
 		e := entries[rep]
 		in, err := scenario.Build(scenario.Spec{
 			Cores:        1,

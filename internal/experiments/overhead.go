@@ -27,7 +27,7 @@ func Table4(cfg Config) ([]Table4Row, error) {
 // ANVIL configuration, one independent replicate per profile.
 func falsePositives(cfg Config, def scenario.DefenseKind, profs []workload.Profile) ([]Table4Row, error) {
 	dur := cfg.ScaleDur(4 * time.Second)
-	return scenario.RunMany(len(profs), cfg.Workers(), func(rep int) (Table4Row, error) {
+	return scenario.RunReplicates(cfg, len(profs), func(rep int) (Table4Row, error) {
 		prof := profs[rep]
 		in, err := scenario.Build(scenario.Spec{
 			Cores:     1,
@@ -94,7 +94,7 @@ func measureRuntime(cfg Config, prof workload.Profile, ops uint64, def scenario.
 // Each profile's three runs form one independent replicate.
 func Figure3(cfg Config) ([]Figure3Row, error) {
 	profs := workload.SPEC2006()
-	return scenario.RunMany(len(profs), cfg.Workers(), func(rep int) (Figure3Row, error) {
+	return scenario.RunReplicates(cfg, len(profs), func(rep int) (Figure3Row, error) {
 		prof := profs[rep]
 		ops := cfg.ScaleOps(fixedWorkOps(prof))
 		t0, err := measureRuntime(cfg, prof, ops, scenario.NoDefense, 1)
@@ -176,7 +176,7 @@ type Figure4Row struct {
 // configuration (§4.5), one independent replicate per benchmark.
 func Figure4(cfg Config) ([]Figure4Row, error) {
 	profs := figure4Benchmarks()
-	return scenario.RunMany(len(profs), cfg.Workers(), func(rep int) (Figure4Row, error) {
+	return scenario.RunReplicates(cfg, len(profs), func(rep int) (Figure4Row, error) {
 		prof := profs[rep]
 		ops := cfg.ScaleOps(fixedWorkOps(prof))
 		t0, err := measureRuntime(cfg, prof, ops, scenario.NoDefense, 1)

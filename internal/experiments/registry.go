@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"encoding/json"
+	"fmt"
 	"time"
 
 	"repro/internal/attack"
@@ -187,6 +188,37 @@ func init() {
 		Desc: "Extension: every mitigation vs the double-sided CLFLUSH attack",
 		Run: wrap(Defenses, RenderDefenses, func(rows []DefenseRow) []scenario.Metric {
 			return []scenario.Metric{{Name: "unprotected-flips", Value: float64(rows[0].BitFlips)}}
+		}),
+	})
+	scenario.Register(scenario.Experiment{
+		Name: "degraded-sampling",
+		Desc: "Robustness: ANVIL-heavy flip prevention vs PMU sample-drop rate",
+		Run: wrap(DegradedSampling, RenderDegradedSampling, func(rows []DegradedSamplingRow) []scenario.Metric {
+			out := make([]scenario.Metric, len(rows))
+			for i, r := range rows {
+				out[i] = scenario.Metric{
+					Name:  fmt.Sprintf("prevention@%.0f%%", r.DropRate*100),
+					Value: r.Prevention,
+				}
+			}
+			return out
+		}),
+	})
+	scenario.Register(scenario.Experiment{
+		Name: "fault-matrix",
+		Desc: "Robustness: the standard attack vs ANVIL-baseline on degraded-hardware profiles",
+		Run: wrap(FaultMatrix, RenderFaultMatrix, func(rows []FaultMatrixRow) []scenario.Metric {
+			var flips, errs float64
+			for _, r := range rows {
+				flips += float64(r.Flips)
+				if r.Err != "" {
+					errs++
+				}
+			}
+			return []scenario.Metric{
+				{Name: "total-flips", Value: flips},
+				{Name: "failed-profiles", Value: errs},
+			}
 		}),
 	})
 }

@@ -11,7 +11,7 @@ import (
 func TestRegistryCoversEveryExperiment(t *testing.T) {
 	want := []string{"table1", "table1-sweep", "figure1", "section21",
 		"section22", "table3", "table4", "figure3", "figure4", "table5",
-		"section45", "defenses"}
+		"section45", "defenses", "degraded-sampling", "fault-matrix"}
 	got := scenario.Names()
 	if strings.Join(got, ",") != strings.Join(want, ",") {
 		t.Errorf("registry order:\n got %v\nwant %v", got, want)

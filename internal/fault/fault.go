@@ -1,0 +1,107 @@
+// Package fault is the simulator's deterministic fault-injection subsystem:
+// a declarative Spec of hardware degradations (PMU sampling faults, DRAM
+// refresh/reliability faults, kernel interrupt-delivery faults) and a seeded
+// Plan that wires the matching injectors into a built machine.
+//
+// The determinism contract mirrors the rest of the simulator: every fault
+// decision is drawn from substreams of a sim.Rand derived from the scenario
+// seed, never from wall-clock or global state, so the same (Spec, seed,
+// workload) degrades bit-identically on every run — and a zero Spec installs
+// nothing at all, leaving fault-free runs byte-identical to builds that
+// predate this package.
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// PMUSpec declares sampling-path degradations (see pmu.FaultConfig).
+type PMUSpec struct {
+	// SampleDropRate is the probability a taken PEBS sample is lost.
+	SampleDropRate float64 `json:"sample_drop_rate,omitempty"`
+	// SampleSkidRate is the probability a sample's address skids by up to
+	// SkidMaxLines cache lines; SkidMaxLines must be positive when the rate
+	// is.
+	SampleSkidRate float64 `json:"sample_skid_rate,omitempty"`
+	SkidMaxLines   int     `json:"skid_max_lines,omitempty"`
+	// BufferCap shrinks the PEBS buffer when positive and below the
+	// machine's configured capacity.
+	BufferCap int `json:"buffer_cap,omitempty"`
+	// OverflowMaxDelay postpones overflow-interrupt delivery by up to this
+	// many cycles.
+	OverflowMaxDelay sim.Cycles `json:"overflow_max_delay,omitempty"`
+}
+
+// DRAMSpec declares refresh and reliability degradations (see
+// dram.FaultConfig).
+type DRAMSpec struct {
+	// RefreshSkipRate is the probability a scheduled REF slot is skipped.
+	RefreshSkipRate float64 `json:"refresh_skip_rate,omitempty"`
+	// ECCCorrectableRate / ECCUncorrectableRate are per-activation
+	// probabilities of transient single-bit and double-bit-per-word errors.
+	ECCCorrectableRate   float64 `json:"ecc_correctable_rate,omitempty"`
+	ECCUncorrectableRate float64 `json:"ecc_uncorrectable_rate,omitempty"`
+}
+
+// MachineSpec declares kernel interrupt-delivery degradations (see
+// machine.FaultConfig).
+type MachineSpec struct {
+	// TimerMaxDelay postpones every kernel timer by up to this many cycles.
+	TimerMaxDelay sim.Cycles `json:"timer_max_delay,omitempty"`
+	// IRQMaxCost charges up to this many extra kernel cycles per fired
+	// timer.
+	IRQMaxCost sim.Cycles `json:"irq_max_cost,omitempty"`
+}
+
+// Spec is the full declarative fault plan of one scenario. The zero value
+// means a perfect machine.
+type Spec struct {
+	PMU     PMUSpec     `json:"pmu,omitempty"`
+	DRAM    DRAMSpec    `json:"dram,omitempty"`
+	Machine MachineSpec `json:"machine,omitempty"`
+}
+
+// IsZero reports whether the spec injects nothing.
+func (s Spec) IsZero() bool { return s == Spec{} }
+
+func checkRate(name string, v float64) error {
+	// NaN fails both comparisons' complement, so spell the check as "not
+	// inside [0,1]" to reject it too.
+	if !(v >= 0 && v <= 1) {
+		return fmt.Errorf("fault: %s must be in [0,1], got %g", name, v)
+	}
+	return nil
+}
+
+// Validate checks every rate and bound. Probabilities must lie in [0,1]
+// (NaN rejected); counts must be non-negative; a positive skid rate needs a
+// positive skid distance.
+func (s Spec) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"pmu.sample_drop_rate", s.PMU.SampleDropRate},
+		{"pmu.sample_skid_rate", s.PMU.SampleSkidRate},
+		{"dram.refresh_skip_rate", s.DRAM.RefreshSkipRate},
+		{"dram.ecc_correctable_rate", s.DRAM.ECCCorrectableRate},
+		{"dram.ecc_uncorrectable_rate", s.DRAM.ECCUncorrectableRate},
+	} {
+		if err := checkRate(r.name, r.v); err != nil {
+			return err
+		}
+	}
+	if s.PMU.SkidMaxLines < 0 {
+		return fmt.Errorf("fault: pmu.skid_max_lines must be non-negative, got %d", s.PMU.SkidMaxLines)
+	}
+	if s.PMU.SampleSkidRate > 0 && s.PMU.SkidMaxLines == 0 {
+		return fmt.Errorf("fault: pmu.sample_skid_rate %g needs a positive pmu.skid_max_lines",
+			s.PMU.SampleSkidRate)
+	}
+	if s.PMU.BufferCap < 0 {
+		return fmt.Errorf("fault: pmu.buffer_cap must be non-negative, got %d", s.PMU.BufferCap)
+	}
+	return nil
+}

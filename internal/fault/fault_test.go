@@ -1,0 +1,141 @@
+package fault
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestSpecIsZero(t *testing.T) {
+	if !(Spec{}).IsZero() {
+		t.Error("zero spec not IsZero")
+	}
+	if (Spec{PMU: PMUSpec{SampleDropRate: 0.1}}).IsZero() {
+		t.Error("non-zero spec reported IsZero")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := []Spec{
+		{},
+		{PMU: PMUSpec{SampleDropRate: 0.25, BufferCap: 8}},
+		{PMU: PMUSpec{SampleSkidRate: 1, SkidMaxLines: 4}},
+		{DRAM: DRAMSpec{RefreshSkipRate: 0.5, ECCCorrectableRate: 1e-6, ECCUncorrectableRate: 1e-9}},
+		{Machine: MachineSpec{TimerMaxDelay: 1000, IRQMaxCost: 500}},
+	}
+	for _, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("valid spec %+v rejected: %v", s, err)
+		}
+	}
+	bad := []Spec{
+		{PMU: PMUSpec{SampleDropRate: -0.1}},
+		{PMU: PMUSpec{SampleDropRate: 1.5}},
+		{PMU: PMUSpec{SampleDropRate: math.NaN()}},
+		{PMU: PMUSpec{SampleSkidRate: 0.5}}, // skid rate without distance
+		{PMU: PMUSpec{SkidMaxLines: -1}},
+		{PMU: PMUSpec{BufferCap: -2}},
+		{DRAM: DRAMSpec{RefreshSkipRate: math.Inf(1)}},
+		{DRAM: DRAMSpec{ECCCorrectableRate: -1}},
+		{DRAM: DRAMSpec{ECCUncorrectableRate: math.NaN()}},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("invalid spec %+v accepted", s)
+		}
+	}
+}
+
+func TestNewPlanRejectsInvalidSpec(t *testing.T) {
+	if _, err := NewPlan(Spec{PMU: PMUSpec{SampleDropRate: 2}}, 1); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+// degradedSpec exercises every layer at once.
+func degradedSpec() Spec {
+	return Spec{
+		PMU:     PMUSpec{SampleDropRate: 0.2, SampleSkidRate: 0.1, SkidMaxLines: 4, OverflowMaxDelay: 2000},
+		DRAM:    DRAMSpec{RefreshSkipRate: 0.1, ECCCorrectableRate: 1e-5, ECCUncorrectableRate: 1e-6},
+		Machine: MachineSpec{TimerMaxDelay: 5000, IRQMaxCost: 1000},
+	}
+}
+
+// runDegraded builds a machine, applies the plan, runs an mcf workload for a
+// few milliseconds of simulated time, and returns the fault counters plus the
+// DRAM activation count (a proxy for overall timing behaviour).
+func runDegraded(t *testing.T, spec Spec, seed uint64) (Counters, uint64) {
+	t.Helper()
+	cfg := machine.DefaultConfig()
+	cfg.Cores = 1
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewPlan(spec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Apply(m); err != nil {
+		t.Fatal(err)
+	}
+	prof, ok := workload.ByName("mcf")
+	if !ok {
+		t.Fatal("missing mcf profile")
+	}
+	prog, err := workload.New(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Spawn(0, prog); err != nil {
+		t.Fatal(err)
+	}
+	// A self-rearming kernel tick stands in for a detector's timer use, so
+	// the machine-layer injector has something to delay.
+	var tick func(now sim.Cycles)
+	period := m.Freq.Cycles(100 * time.Microsecond)
+	tick = func(now sim.Cycles) { m.Kernel.At(now+period, tick) }
+	m.Kernel.At(period, tick)
+	if err := m.Run(m.Freq.Cycles(4 * time.Millisecond)); err != nil && !errors.Is(err, machine.ErrAllDone) {
+		t.Fatal(err)
+	}
+	return Snapshot(m), m.Mem.DRAM.Stats().Activations
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	c1, a1 := runDegraded(t, degradedSpec(), 42)
+	c2, a2 := runDegraded(t, degradedSpec(), 42)
+	if c1 != c2 {
+		t.Errorf("same plan diverged:\n%+v\n%+v", c1, c2)
+	}
+	if a1 != a2 {
+		t.Errorf("same plan diverged on activations: %d vs %d", a1, a2)
+	}
+}
+
+func TestZeroSpecInstallsNothing(t *testing.T) {
+	_, clean := runDegraded(t, Spec{}, 42)
+	c, withZero := runDegraded(t, Spec{}, 99) // seed must not matter for a zero spec
+	if clean != withZero {
+		t.Errorf("zero spec perturbed the run: %d vs %d activations", clean, withZero)
+	}
+	if c != (Counters{}) {
+		t.Errorf("zero spec produced fault counters: %+v", c)
+	}
+}
+
+func TestDegradedRunInjects(t *testing.T) {
+	c, _ := runDegraded(t, degradedSpec(), 42)
+	// The mcf run fires kernel timers, so the machine layer must show work.
+	if c.Machine.DelayedTimers == 0 {
+		t.Errorf("no timers delayed under TimerMaxDelay: %+v", c.Machine)
+	}
+	if c.DRAM.SkippedRefreshes == 0 {
+		t.Errorf("no refreshes skipped at 10%% skip rate: %+v", c.DRAM)
+	}
+}

@@ -1,0 +1,52 @@
+package fault
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// FuzzFaultSpec: Validate never panics, and any spec that validates must
+// survive a JSON round trip unchanged (the scenario engine persists specs in
+// experiment artifacts).
+func FuzzFaultSpec(f *testing.F) {
+	f.Add(0.0, 0.0, 0, 0, uint64(0), 0.0, 0.0, 0.0, uint64(0), uint64(0))
+	f.Add(0.25, 0.1, 4, 16, uint64(2000), 0.1, 1e-5, 1e-6, uint64(5000), uint64(1000))
+	f.Add(-1.0, 2.0, -3, -1, uint64(1)<<63, 1.5, -0.5, 3.0, ^uint64(0), uint64(7))
+	f.Fuzz(func(t *testing.T, drop, skid float64, skidLines, bufCap int, ovfDelay uint64,
+		refSkip, eccC, eccU float64, timerDelay, irqCost uint64) {
+		s := Spec{
+			PMU: PMUSpec{
+				SampleDropRate:   drop,
+				SampleSkidRate:   skid,
+				SkidMaxLines:     skidLines,
+				BufferCap:        bufCap,
+				OverflowMaxDelay: sim.Cycles(ovfDelay),
+			},
+			DRAM: DRAMSpec{
+				RefreshSkipRate:      refSkip,
+				ECCCorrectableRate:   eccC,
+				ECCUncorrectableRate: eccU,
+			},
+			Machine: MachineSpec{
+				TimerMaxDelay: sim.Cycles(timerDelay),
+				IRQMaxCost:    sim.Cycles(irqCost),
+			},
+		}
+		if err := s.Validate(); err != nil {
+			return
+		}
+		raw, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("valid spec failed to marshal: %v", err)
+		}
+		var back Spec
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatalf("round trip failed to unmarshal: %v", err)
+		}
+		if back != s {
+			t.Fatalf("round trip changed the spec:\n in: %+v\nout: %+v", s, back)
+		}
+	})
+}

@@ -1,0 +1,85 @@
+package fault
+
+import (
+	"repro/internal/dram"
+	"repro/internal/machine"
+	"repro/internal/pmu"
+	"repro/internal/sim"
+)
+
+// planSalt decorrelates the fault plan's RNG root from the scenario seed's
+// other uses (PMU sampler stream, frame allocator stream).
+const planSalt = 0xfa01_7a57_1c3d_b00f
+
+// Plan is a validated Spec bound to a seed: the realisable fault plan of one
+// replicate. Applying the same plan to identically built machines degrades
+// them identically.
+type Plan struct {
+	Spec Spec
+	seed uint64
+}
+
+// NewPlan validates the spec and binds it to the scenario seed.
+func NewPlan(spec Spec, seed uint64) (*Plan, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Plan{Spec: spec, seed: seed}, nil
+}
+
+// Apply wires the plan's injectors into the machine. A zero spec installs
+// nothing — not even the RNG — so fault-free machines behave byte-
+// identically to builds without fault support. Per-layer substreams are
+// split in a fixed order, so enabling one layer never perturbs another
+// layer's decisions.
+func (p *Plan) Apply(m *machine.Machine) error {
+	if p.Spec.IsZero() {
+		return nil
+	}
+	root := sim.NewRand(p.seed ^ planSalt)
+	pmuRng, dramRng, machRng := root.Split(), root.Split(), root.Split()
+	if s := p.Spec.PMU; s != (PMUSpec{}) {
+		m.Mem.PMU.InjectFaults(pmu.FaultConfig{
+			SampleDropRate:   s.SampleDropRate,
+			SampleSkidRate:   s.SampleSkidRate,
+			SkidMaxLines:     s.SkidMaxLines,
+			BufferCap:        s.BufferCap,
+			OverflowMaxDelay: s.OverflowMaxDelay,
+		}, pmuRng)
+	}
+	if s := p.Spec.DRAM; s != (DRAMSpec{}) {
+		if err := m.Mem.DRAM.InjectFaults(dram.FaultConfig{
+			RefreshSkipRate:      s.RefreshSkipRate,
+			ECCCorrectableRate:   s.ECCCorrectableRate,
+			ECCUncorrectableRate: s.ECCUncorrectableRate,
+		}, dramRng); err != nil {
+			return err
+		}
+	}
+	if s := p.Spec.Machine; s != (MachineSpec{}) {
+		m.InjectFaults(machine.FaultConfig{
+			TimerMaxDelay: s.TimerMaxDelay,
+			IRQMaxCost:    s.IRQMaxCost,
+		}, machRng)
+	}
+	return nil
+}
+
+// Counters is the aggregate fault telemetry of one machine after a run:
+// what each injector actually did, so degraded-hardware experiments report
+// their own noise level.
+type Counters struct {
+	PMU     pmu.FaultStats
+	DRAM    dram.FaultStats
+	Machine machine.FaultStats
+}
+
+// Snapshot collects the fault counters of a machine (all zero when no
+// injector was installed).
+func Snapshot(m *machine.Machine) Counters {
+	return Counters{
+		PMU:     m.Mem.PMU.FaultStats(),
+		DRAM:    m.Mem.DRAM.FaultStats(),
+		Machine: m.FaultStats(),
+	}
+}

@@ -1,0 +1,66 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestFaultDelaysKernelTimers(t *testing.T) {
+	m := newMachine(t, 1)
+	m.InjectFaults(FaultConfig{TimerMaxDelay: 50_000}, sim.NewRand(11))
+	if _, err := m.Spawn(0, &loopProgram{name: "loop", stride: 64, n: 4}); err != nil {
+		t.Fatal(err)
+	}
+	var fired []sim.Cycles
+	for i := 0; i < 8; i++ {
+		due := sim.Cycles(10_000 * (i + 1))
+		m.Kernel.At(due, func(now sim.Cycles) { fired = append(fired, now) })
+	}
+	if err := m.Run(500_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 8 {
+		t.Fatalf("fired %d timers, want 8: %v", len(fired), fired)
+	}
+	st := m.FaultStats()
+	if st.DelayedTimers == 0 {
+		t.Errorf("no timers delayed under TimerMaxDelay: %+v", st)
+	}
+	if st.DelayCycles == 0 {
+		t.Errorf("delayed timers accumulated zero delay: %+v", st)
+	}
+	for i, at := range fired {
+		if at < sim.Cycles(10_000*(i+1)) {
+			t.Errorf("timer %d fired at %d, before its requested due time", i, at)
+		}
+	}
+}
+
+func TestFaultChargesIRQCost(t *testing.T) {
+	m := newMachine(t, 1)
+	m.InjectFaults(FaultConfig{IRQMaxCost: 5_000}, sim.NewRand(12))
+	if _, err := m.Spawn(0, &loopProgram{name: "loop", stride: 64, n: 4}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		m.Kernel.At(sim.Cycles(10_000*(i+1)), func(sim.Cycles) {})
+	}
+	if err := m.Run(500_000); err != nil {
+		t.Fatal(err)
+	}
+	st := m.FaultStats()
+	if st.IRQCostCycles == 0 {
+		t.Errorf("no IRQ cost charged across 16 timer fires: %+v", st)
+	}
+	if kc := m.Cores[0].Stats.KernelCycles; kc < st.IRQCostCycles {
+		t.Errorf("kernel cycles %v below injected IRQ cost %v", kc, st.IRQCostCycles)
+	}
+}
+
+func TestFaultStatsZeroWithoutInjection(t *testing.T) {
+	m := newMachine(t, 1)
+	if st := m.FaultStats(); st != (FaultStats{}) {
+		t.Errorf("fault stats non-zero without injection: %+v", st)
+	}
+}

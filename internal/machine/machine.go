@@ -87,6 +87,49 @@ type Kernel struct {
 	timers  []timer
 	nextTID int
 	seq     int
+	fault   *kernelFault // nil unless Machine.InjectFaults installed one
+}
+
+// FaultConfig injects interrupt-delivery degradations into the kernel. The
+// zero value injects nothing. Randomness comes from the *sim.Rand handed to
+// InjectFaults, so a given (config, seed, schedule) degrades identically.
+type FaultConfig struct {
+	// TimerMaxDelay postpones every scheduled timer by a uniform
+	// 0..TimerMaxDelay cycles (hrtimer latency under interrupt pressure).
+	TimerMaxDelay sim.Cycles
+	// IRQMaxCost charges a uniform 0..IRQMaxCost extra kernel cycles per
+	// fired timer (slow interrupt entry/exit on a degraded machine).
+	IRQMaxCost sim.Cycles
+}
+
+// FaultStats counts the degradations actually injected.
+type FaultStats struct {
+	DelayedTimers uint64     // timers whose deadline was postponed
+	DelayCycles   sim.Cycles // total postponement
+	IRQCostCycles sim.Cycles // total extra interrupt-delivery cost charged
+}
+
+type kernelFault struct {
+	cfg    FaultConfig
+	rng    *sim.Rand
+	charge func(sim.Cycles) // ChargeCurrent backref for IRQ cost
+	stats  FaultStats
+}
+
+// InjectFaults installs a kernel degradation model. Call at most once,
+// before the run; a zero cfg changes nothing. rng must be dedicated to the
+// kernel (see sim.Rand.Split).
+func (m *Machine) InjectFaults(cfg FaultConfig, rng *sim.Rand) {
+	m.Kernel.fault = &kernelFault{cfg: cfg, rng: rng, charge: m.ChargeCurrent}
+}
+
+// FaultStats reports the degradations injected so far (zero value without
+// InjectFaults).
+func (m *Machine) FaultStats() FaultStats {
+	if m.Kernel.fault == nil {
+		return FaultStats{}
+	}
+	return m.Kernel.fault.stats
 }
 
 // timers form a binary min-heap ordered by (due, seq); seq breaks ties so
@@ -118,6 +161,13 @@ func (k *Kernel) TaskSpace(task int) *vm.AddressSpace {
 // At schedules fn to run at the given simulated time. O(log n) heap push,
 // where the sorted slice this replaces paid an O(n log n) sort per insert.
 func (k *Kernel) At(t sim.Cycles, fn func(now sim.Cycles)) {
+	if f := k.fault; f != nil && f.cfg.TimerMaxDelay > 0 {
+		if d := sim.Cycles(f.rng.Uint64n(uint64(f.cfg.TimerMaxDelay) + 1)); d > 0 {
+			t += d
+			f.stats.DelayedTimers++
+			f.stats.DelayCycles += d
+		}
+	}
 	k.seq++
 	k.timers = append(k.timers, timer{due: t, seq: k.seq, fn: fn})
 	i := len(k.timers) - 1
@@ -154,6 +204,12 @@ func (k *Kernel) fireDue(now sim.Cycles) {
 			}
 			k.timers[i], k.timers[small] = k.timers[small], k.timers[i]
 			i = small
+		}
+		if f := k.fault; f != nil && f.cfg.IRQMaxCost > 0 {
+			if c := sim.Cycles(f.rng.Uint64n(uint64(f.cfg.IRQMaxCost) + 1)); c > 0 {
+				f.charge(c)
+				f.stats.IRQCostCycles += c
+			}
 		}
 		t.fn(t.due)
 	}

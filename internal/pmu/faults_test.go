@@ -1,0 +1,101 @@
+package pmu
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestFaultSampleDropLosesSamples(t *testing.T) {
+	p := New(1, 0)
+	p.InjectFaults(FaultConfig{SampleDropRate: 1}, sim.NewRand(5))
+	p.ConfigureLoadSampler(SamplerConfig{Enabled: true, Interval: 1}, 0)
+	for i := 0; i < 50; i++ {
+		p.Observe(load(uint64(i)*64, 200, true, sim.Cycles(i*10)))
+	}
+	if n := len(p.Samples()); n != 0 {
+		t.Errorf("drop rate 1 left %d samples in the buffer", n)
+	}
+	if got := p.FaultStats().InjectedDrops; got != 50 {
+		t.Errorf("InjectedDrops = %d, want 50", got)
+	}
+	// Injected drops are distinct from buffer-full drops.
+	if p.Dropped() != 0 {
+		t.Errorf("buffer-full drops = %d, want 0", p.Dropped())
+	}
+}
+
+func TestFaultSkidMovesSampleAddresses(t *testing.T) {
+	const maxLines = 4
+	p := New(1, 0)
+	p.InjectFaults(FaultConfig{SampleSkidRate: 1, SkidMaxLines: maxLines}, sim.NewRand(7))
+	p.ConfigureLoadSampler(SamplerConfig{Enabled: true, Interval: 1}, 0)
+	const n = 40
+	for i := 0; i < n; i++ {
+		p.Observe(load(uint64(i)*4096, 200, true, sim.Cycles(i*10)))
+	}
+	got := p.Samples()
+	if len(got) != n {
+		t.Fatalf("samples = %d, want %d", len(got), n)
+	}
+	for i, s := range got {
+		diff := int64(s.VA) - int64(uint64(i)*4096)
+		if diff == 0 {
+			t.Errorf("sample %d did not skid at rate 1", i)
+		}
+		if diff%64 != 0 {
+			t.Errorf("sample %d skidded by %d bytes: not line-aligned", i, diff)
+		}
+		if diff > maxLines*64 || diff < -maxLines*64 {
+			t.Errorf("sample %d skidded by %d bytes, beyond %d lines", i, diff, maxLines)
+		}
+	}
+	if got := p.FaultStats().SkiddedSamples; got != n {
+		t.Errorf("SkiddedSamples = %d, want %d", got, n)
+	}
+}
+
+func TestFaultDelayedOverflow(t *testing.T) {
+	p := New(1, 0)
+	p.InjectFaults(FaultConfig{OverflowMaxDelay: 10_000}, sim.NewRand(2))
+	var fired []sim.Cycles
+	p.ArmOverflow(EvLLCMiss, 3, func(now sim.Cycles) { fired = append(fired, now) })
+	for i := 1; i <= 20; i++ {
+		p.Observe(load(0, 200, true, sim.Cycles(i*1000)))
+	}
+	if len(fired) != 1 {
+		t.Fatalf("overflow fired %d times, want 1", len(fired))
+	}
+	// The counter crosses its target at t=3000; delivery must be postponed.
+	if fired[0] <= 3000 {
+		t.Errorf("overflow delivered at %d, want later than the crossing at 3000", fired[0])
+	}
+	if got := p.FaultStats().DelayedOverflows; got != 1 {
+		t.Errorf("DelayedOverflows = %d, want 1", got)
+	}
+}
+
+func TestFaultBufferCapShrinksBuffer(t *testing.T) {
+	p := New(1, 100)
+	p.InjectFaults(FaultConfig{BufferCap: 4}, sim.NewRand(1))
+	p.ConfigureLoadSampler(SamplerConfig{Enabled: true, Interval: 1}, 0)
+	for i := 0; i < 10; i++ {
+		p.Observe(load(uint64(i), 10, false, sim.Cycles(i*10)))
+	}
+	if n := len(p.Samples()); n != 4 {
+		t.Errorf("buffered samples = %d, want 4", n)
+	}
+	if p.Dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", p.Dropped())
+	}
+	// A cap above the machine's capacity must not grow the buffer.
+	p2 := New(1, 4)
+	p2.InjectFaults(FaultConfig{BufferCap: 100}, sim.NewRand(1))
+	p2.ConfigureLoadSampler(SamplerConfig{Enabled: true, Interval: 1}, 0)
+	for i := 0; i < 10; i++ {
+		p2.Observe(load(uint64(i), 10, false, sim.Cycles(i*10)))
+	}
+	if n := len(p2.Samples()); n != 4 {
+		t.Errorf("cap 100 over capacity 4 buffered %d samples, want 4", n)
+	}
+}

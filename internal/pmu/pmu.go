@@ -124,11 +124,54 @@ func (s *sampler) take(now sim.Cycles) bool {
 	return true
 }
 
-// Overflow configures a counter-overflow interrupt.
+// Overflow configures a counter-overflow interrupt. pending/fireAt model a
+// fault-injected delivery delay: the counter has crossed its target but the
+// interrupt is still in flight and lands at the first event at or after
+// fireAt.
 type overflow struct {
-	armed  bool
-	target uint64
-	fn     func(now sim.Cycles)
+	armed   bool
+	target  uint64
+	pending bool
+	fireAt  sim.Cycles
+	fn      func(now sim.Cycles)
+}
+
+// FaultConfig injects PEBS/PMI degradations into the PMU. The zero value
+// injects nothing; installing it via InjectFaults is a no-op on behaviour.
+// All randomness comes from the *sim.Rand handed to InjectFaults, so a given
+// (config, seed, access stream) always degrades identically.
+type FaultConfig struct {
+	// SampleDropRate is the probability that a sample the sampler decided to
+	// take is silently lost before reaching the buffer (PEBS micro-assist
+	// aborts, lost DS records).
+	SampleDropRate float64
+	// SampleSkidRate is the probability a recorded sample's virtual address
+	// skids by up to SkidMaxLines cache lines in either direction, the way
+	// imprecise PEBS attribution lands on a neighbouring instruction's
+	// operand.
+	SampleSkidRate float64
+	SkidMaxLines   int
+	// BufferCap, when positive and smaller than the configured capacity,
+	// shrinks the PEBS buffer (a cramped debug-store area drops more samples
+	// between drains).
+	BufferCap int
+	// OverflowMaxDelay postpones counter-overflow interrupt delivery by a
+	// uniform 0..OverflowMaxDelay cycles; the interrupt lands on the first
+	// event after the delay. Disarming while in flight loses it.
+	OverflowMaxDelay sim.Cycles
+}
+
+// FaultStats counts the degradations actually injected.
+type FaultStats struct {
+	InjectedDrops    uint64
+	SkiddedSamples   uint64
+	DelayedOverflows uint64
+}
+
+type pmuFault struct {
+	cfg   FaultConfig
+	rng   *sim.Rand
+	stats FaultStats
 }
 
 // PMU is the performance monitoring unit shared by the machine (counters
@@ -142,6 +185,7 @@ type PMU struct {
 	capacity int
 	dropped  uint64
 	onSample func(s Sample) // PMI hook: detectors charge per-sample cost here
+	fault    *pmuFault      // nil unless InjectFaults installed one
 }
 
 // New creates a PMU. bufferCap bounds the PEBS buffer (a full buffer drops
@@ -169,8 +213,31 @@ func (p *PMU) ArmOverflow(e Event, n uint64, fn func(now sim.Cycles)) {
 	p.over[e] = overflow{armed: true, target: p.counts[e] + n, fn: fn}
 }
 
-// DisarmOverflow cancels a pending overflow interrupt.
-func (p *PMU) DisarmOverflow(e Event) { p.over[e].armed = false }
+// DisarmOverflow cancels a pending overflow interrupt, including one whose
+// fault-delayed delivery is still in flight.
+func (p *PMU) DisarmOverflow(e Event) {
+	p.over[e].armed = false
+	p.over[e].pending = false
+}
+
+// InjectFaults installs a degradation model. Call at most once, before the
+// run; a zero cfg changes nothing. rng must be dedicated to the PMU (see
+// sim.Rand.Split) so fault decisions do not perturb other streams.
+func (p *PMU) InjectFaults(cfg FaultConfig, rng *sim.Rand) {
+	p.fault = &pmuFault{cfg: cfg, rng: rng}
+	if cfg.BufferCap > 0 && cfg.BufferCap < p.capacity {
+		p.capacity = cfg.BufferCap
+	}
+}
+
+// FaultStats reports the degradations injected so far (zero value without
+// InjectFaults).
+func (p *PMU) FaultStats() FaultStats {
+	if p.fault == nil {
+		return FaultStats{}
+	}
+	return p.fault.stats
+}
 
 // ConfigureLoadSampler programs the Load Latency facility.
 func (p *PMU) ConfigureLoadSampler(cfg SamplerConfig, now sim.Cycles) {
@@ -205,8 +272,21 @@ func (p *PMU) Dropped() uint64 { return p.dropped }
 func (p *PMU) bump(e Event, now sim.Cycles) {
 	p.counts[e]++
 	o := &p.over[e]
+	if o.pending && now >= o.fireAt {
+		o.pending = false
+		o.fn(now)
+		return
+	}
 	if o.armed && p.counts[e] >= o.target {
 		o.armed = false
+		if f := p.fault; f != nil && f.cfg.OverflowMaxDelay > 0 {
+			if delay := sim.Cycles(f.rng.Uint64n(uint64(f.cfg.OverflowMaxDelay) + 1)); delay > 0 {
+				o.pending = true
+				o.fireAt = now + delay
+				f.stats.DelayedOverflows++
+				return
+			}
+		}
 		o.fn(now)
 	}
 }
@@ -236,6 +316,10 @@ func (p *PMU) Observe(a Access) {
 	if !take {
 		return
 	}
+	if f := p.fault; f != nil && f.cfg.SampleDropRate > 0 && f.rng.Bool(f.cfg.SampleDropRate) {
+		f.stats.InjectedDrops++
+		return
+	}
 	if len(p.buf) >= p.capacity {
 		p.dropped++
 		return
@@ -248,6 +332,17 @@ func (p *PMU) Observe(a Access) {
 		Task:    a.Task,
 		Core:    a.Core,
 		Time:    a.Now,
+	}
+	if f := p.fault; f != nil && f.cfg.SampleSkidRate > 0 && f.cfg.SkidMaxLines > 0 &&
+		f.rng.Bool(f.cfg.SampleSkidRate) {
+		// Uniform in [-SkidMaxLines, +SkidMaxLines] lines, excluding zero so
+		// every skid actually moves the address.
+		lines := int64(f.rng.Uint64n(uint64(2*f.cfg.SkidMaxLines))) - int64(f.cfg.SkidMaxLines)
+		if lines >= 0 {
+			lines++
+		}
+		s.VA = uint64(int64(s.VA) + lines*64)
+		f.stats.SkiddedSamples++
 	}
 	p.buf = append(p.buf, s)
 	if p.onSample != nil {

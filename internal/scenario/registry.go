@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -19,6 +20,29 @@ type Config struct {
 	// negative means GOMAXPROCS. Parallelism never changes results — only
 	// wall-clock time.
 	Parallel int
+	// Timeout is the per-replicate wall-clock deadline of RunReplicates
+	// sweeps; zero means none. Like Parallel it never changes a reported
+	// number — a replicate either completes identically or fails.
+	Timeout time.Duration
+	// KeepGoing makes RunReplicates sweeps return completed replicates plus
+	// a *SweepError instead of discarding the sweep on the first failure.
+	KeepGoing bool
+	// Ctx, when non-nil, cancels RunReplicates sweeps early (cmd/tables
+	// wires it to signal handling; nil means context.Background()).
+	Ctx context.Context
+}
+
+// Context resolves Ctx.
+func (c Config) Context() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
+}
+
+// RunOptions resolves the Config's runner settings.
+func (c Config) RunOptions() Options {
+	return Options{Workers: c.Workers(), Timeout: c.Timeout, KeepGoing: c.KeepGoing}
 }
 
 // ScaleDur shrinks full-length durations in quick mode.

@@ -1,9 +1,13 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
+	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/sim"
 )
@@ -17,20 +21,101 @@ func ReplicateSeed(base uint64, rep int) uint64 {
 	return r.Uint64()
 }
 
-// RunMany fans n replicates across a pool of workers goroutines and returns
-// their results merged in replicate order. Each call of fn must be
-// self-contained (own machine, own RNG root — see ReplicateSeed), which
-// every Spec-built instance is; under that contract the merged slice is
-// byte-identical at any parallelism, so multi-seed sweeps parallelise for
-// free without perturbing a single reported number.
+// Options tunes a RunManyCtx sweep.
+type Options struct {
+	// Workers caps the worker pool; <= 0 means GOMAXPROCS. Parallelism never
+	// changes results or errors — only wall-clock time.
+	Workers int
+	// Timeout is the per-replicate wall-clock deadline, enforced through
+	// the context handed to each replicate; zero means none. A replicate
+	// that ignores its context is abandoned (its goroutine keeps running,
+	// its result is discarded) and reported as context.DeadlineExceeded.
+	// Wall-clock deadlines never influence simulated results — a replicate
+	// either completes (same bytes as ever) or errors out.
+	Timeout time.Duration
+	// KeepGoing returns every completed replicate's result plus a
+	// *SweepError collecting the failures, instead of discarding the sweep
+	// on the first error.
+	KeepGoing bool
+}
+
+// ReplicateError is one replicate's failure, tagged with the replicate
+// index so a partial sweep remains attributable. It renders exactly like the
+// classic RunMany error ("scenario: replicate N: ...") and unwraps to the
+// underlying error.
+type ReplicateError struct {
+	Rep int
+	Err error
+	// Panicked marks an error recovered from a panicking replicate; Stack
+	// is the panicking goroutine's stack trace.
+	Panicked bool
+	Stack    string
+}
+
+func (e *ReplicateError) Error() string {
+	return fmt.Sprintf("scenario: replicate %d: %v", e.Rep, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *ReplicateError) Unwrap() error { return e.Err }
+
+// SweepError aggregates every replicate failure of a keep-going sweep, in
+// replicate order regardless of scheduling.
+type SweepError struct {
+	// Replicates is the sweep size; len(Failures) of them failed.
+	Replicates int
+	Failures   []*ReplicateError
+}
+
+func (e *SweepError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario: %d of %d replicates failed", len(e.Failures), e.Replicates)
+	for i, f := range e.Failures {
+		if i == 3 && len(e.Failures) > 4 {
+			fmt.Fprintf(&b, "; and %d more", len(e.Failures)-i)
+			break
+		}
+		fmt.Fprintf(&b, "; replicate %d: %v", f.Rep, f.Err)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the individual failures to errors.Is/As.
+func (e *SweepError) Unwrap() []error {
+	out := make([]error, len(e.Failures))
+	for i, f := range e.Failures {
+		out[i] = f
+	}
+	return out
+}
+
+// RunManyCtx fans n replicates across a worker pool and merges their results
+// in replicate order. Each call of fn must be self-contained (own machine,
+// own RNG root — see ReplicateSeed), which every Spec-built instance is;
+// under that contract the merged slice, the error, and the error *ordering*
+// are all byte-identical at any parallelism.
 //
-// workers <= 0 means GOMAXPROCS. All n replicates run even if one fails;
-// the first error in replicate order is returned, so the error too is
-// independent of scheduling.
-func RunMany[T any](n, workers int, fn func(rep int) (T, error)) ([]T, error) {
+// The runner is hardened for production sweeps:
+//
+//   - ctx cancellation stops the sweep promptly: running replicates see
+//     their context cancelled, not-yet-started ones are not started, and
+//     both report context.Canceled;
+//   - Options.Timeout bounds each replicate; a replicate that ignores its
+//     context is abandoned and reported as context.DeadlineExceeded;
+//   - a panicking replicate becomes a *ReplicateError carrying the stack
+//     trace instead of crashing the process;
+//   - without KeepGoing, every replicate still runs (so failures are
+//     independent of scheduling) and the first error in replicate order is
+//     returned; with KeepGoing the completed results come back alongside a
+//     *SweepError listing every failure in replicate order.
+func RunManyCtx[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Context, rep int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -38,10 +123,53 @@ func RunMany[T any](n, workers int, fn func(rep int) (T, error)) ([]T, error) {
 		workers = n
 	}
 	out := make([]T, n)
-	errs := make([]error, n)
+	errs := make([]*ReplicateError, n)
+	runOne := func(rep int) {
+		if err := ctx.Err(); err != nil {
+			errs[rep] = &ReplicateError{Rep: rep, Err: err}
+			return
+		}
+		repCtx, cancel := ctx, context.CancelFunc(func() {})
+		if opts.Timeout > 0 {
+			repCtx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		}
+		defer cancel()
+		type outcome struct {
+			val T
+			err *ReplicateError
+		}
+		// The buffered channel lets an abandoned (timed-out) replicate
+		// finish its send and exit without anyone receiving.
+		done := make(chan outcome, 1)
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					done <- outcome{err: &ReplicateError{
+						Rep:      rep,
+						Err:      fmt.Errorf("panic: %v", r),
+						Panicked: true,
+						Stack:    string(debug.Stack()),
+					}}
+				}
+			}()
+			v, err := fn(repCtx, rep)
+			if err != nil {
+				done <- outcome{err: &ReplicateError{Rep: rep, Err: err}}
+				return
+			}
+			done <- outcome{val: v}
+		}()
+		select {
+		case o := <-done:
+			out[rep], errs[rep] = o.val, o.err
+		case <-repCtx.Done():
+			errs[rep] = &ReplicateError{Rep: rep, Err: repCtx.Err()}
+		}
+	}
+
 	if workers == 1 {
-		for i := range out {
-			out[i], errs[i] = fn(i)
+		for rep := 0; rep < n; rep++ {
+			runOne(rep)
 		}
 	} else {
 		idx := make(chan int)
@@ -50,21 +178,54 @@ func RunMany[T any](n, workers int, fn func(rep int) (T, error)) ([]T, error) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for i := range idx {
-					out[i], errs[i] = fn(i)
+				for rep := range idx {
+					runOne(rep)
 				}
 			}()
 		}
-		for i := 0; i < n; i++ {
-			idx <- i
+	feed:
+		for rep := 0; rep < n; rep++ {
+			select {
+			case idx <- rep:
+			case <-ctx.Done():
+				// Mark the unscheduled tail cancelled without starting it.
+				for ; rep < n; rep++ {
+					errs[rep] = &ReplicateError{Rep: rep, Err: ctx.Err()}
+				}
+				break feed
+			}
 		}
 		close(idx)
 		wg.Wait()
 	}
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("scenario: replicate %d: %w", i, err)
+
+	var failures []*ReplicateError
+	for _, e := range errs { // errs is replicate-ordered; scheduling can't reorder it
+		if e != nil {
+			failures = append(failures, e)
 		}
 	}
-	return out, nil
+	if len(failures) == 0 {
+		return out, nil
+	}
+	if opts.KeepGoing {
+		return out, &SweepError{Replicates: n, Failures: failures}
+	}
+	return nil, failures[0]
+}
+
+// RunMany is RunManyCtx without cancellation, deadlines or keep-going: the
+// classic sweep entry point. All n replicates run even if one fails; the
+// first error in replicate order is returned, so the error too is
+// independent of scheduling.
+func RunMany[T any](n, workers int, fn func(rep int) (T, error)) ([]T, error) {
+	return RunManyCtx(context.Background(), n, Options{Workers: workers},
+		func(_ context.Context, rep int) (T, error) { return fn(rep) })
+}
+
+// RunReplicates runs a registry experiment's sweep under the experiment
+// Config's runner settings (worker pool, per-replicate timeout, keep-going).
+func RunReplicates[T any](cfg Config, n int, fn func(rep int) (T, error)) ([]T, error) {
+	return RunManyCtx(cfg.Context(), n, cfg.RunOptions(),
+		func(_ context.Context, rep int) (T, error) { return fn(rep) })
 }

@@ -13,6 +13,7 @@
 package scenario
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/cache"
 	"repro/internal/defense"
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -148,6 +150,15 @@ type Spec struct {
 	Defense DefenseKind
 	// Duration is the run horizon for Run; zero runs to completion.
 	Duration time.Duration
+	// Faults declares deterministic hardware degradations (see
+	// internal/fault). The zero value installs nothing, keeping fault-free
+	// runs byte-identical; a non-zero spec is realised as a Plan seeded from
+	// Seed, so the same Spec degrades the same way on every run.
+	Faults fault.Spec
+	// ECCScrub, when positive, attaches a SECDED scrubbing pass at this
+	// period (Instance.ECC reports corrected/uncorrectable words) —
+	// typically paired with Faults.DRAM transient-error rates.
+	ECCScrub time.Duration
 	// Mutate is a last-resort hook over the assembled machine config,
 	// applied after every declarative field.
 	Mutate func(*machine.Config)
@@ -172,6 +183,8 @@ type Instance struct {
 	Detector *anvil.Detector
 	// HW is the attached hardware defense, nil unless one was selected.
 	HW defense.Defense
+	// ECC is the SECDED scrubber, nil unless Spec.ECCScrub was set.
+	ECC *defense.ECC
 }
 
 // newHammer instantiates an attack implementation.
@@ -216,7 +229,11 @@ func Build(s Spec) (*Instance, error) {
 		scale = 2
 	}
 	if scale > 1 {
-		cfg.Memory.DRAM.Timing = cfg.Memory.DRAM.Timing.WithRefreshScale(scale)
+		timing, err := cfg.Memory.DRAM.Timing.RefreshScaled(scale)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Memory.DRAM.Timing = timing
 	}
 	if s.DisturbScale > 0 && s.DisturbScale != 1 {
 		cfg.Memory.DRAM.Disturb = cfg.Memory.DRAM.Disturb.Scaled(s.DisturbScale)
@@ -224,11 +241,29 @@ func Build(s Spec) (*Instance, error) {
 	if s.Mutate != nil {
 		s.Mutate(&cfg)
 	}
+	plan, err := fault.NewPlan(s.Faults, s.Seed)
+	if err != nil {
+		return nil, err
+	}
 	m, err := machine.New(cfg)
 	if err != nil {
 		return nil, err
 	}
+	// Degrade the hardware before anything observes it: the injectors must
+	// be in place before the first access, activation or timer.
+	if err := plan.Apply(m); err != nil {
+		return nil, err
+	}
 	in := &Instance{Spec: s, Machine: m}
+
+	if s.ECCScrub > 0 {
+		ecc, err := defense.NewECC(m.Freq.Cycles(s.ECCScrub), 64)
+		if err != nil {
+			return nil, err
+		}
+		ecc.Attach(m.Mem.DRAM)
+		in.ECC = ecc
+	}
 
 	// Hardware defenses observe every activation, so they attach before
 	// anything is spawned.
@@ -281,7 +316,10 @@ func Build(s Spec) (*Instance, error) {
 		if !ok {
 			return nil, fmt.Errorf("scenario: unknown workload %q", w.Name)
 		}
-		prog := workload.MustNew(prof)
+		prog, err := workload.New(prof)
+		if err != nil {
+			return nil, err
+		}
 		if w.OpLimit > 0 {
 			prog = prog.WithOpLimit(w.OpLimit)
 		}
@@ -351,6 +389,102 @@ func (in *Instance) RunToCompletion() error {
 		return err
 	}
 	return nil
+}
+
+// RunForCtx is RunFor with cooperative cancellation: it advances the
+// machine in 1 ms simulated slices and aborts with ctx.Err() at the first
+// slice boundary after ctx is done. Slice boundaries are fixed simulated
+// instants, so cancellation never perturbs the results of runs that
+// complete.
+func (in *Instance) RunForCtx(ctx context.Context, d time.Duration) error {
+	m := in.Machine
+	end := m.Time() + m.Freq.Cycles(d)
+	slice := m.Freq.Cycles(time.Millisecond)
+	for now := m.Time(); now < end; {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		next := now + slice
+		if next > end {
+			next = end
+		}
+		err := m.Run(next)
+		if errors.Is(err, machine.ErrAllDone) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		now = next
+	}
+	return nil
+}
+
+// Results is a JSON-marshalling snapshot of an instance's observable
+// counters after a run. Fault-telemetry fields carry omitempty so that
+// fault-free snapshots stay compact, and every field is deterministic for a
+// given Spec.
+type Results struct {
+	// Flips counts hammer-induced bit flips (transient fault-injected
+	// errors are reported separately below).
+	Flips       int    `json:"flips"`
+	Activations uint64 `json:"activations"`
+	// Detections / DefenseRefreshes / SamplesTaken describe the ANVIL
+	// detector when one is attached; DefenseRefreshes falls back to the
+	// hardware defense's refresh count when that is attached instead.
+	Detections       int    `json:"detections"`
+	DefenseRefreshes uint64 `json:"defense_refreshes"`
+	SamplesTaken     uint64 `json:"samples_taken"`
+	// PMUDropped counts samples lost to a full PEBS buffer — the
+	// experiment's own noise level, which fault injection can inflate via
+	// Faults.PMU.BufferCap.
+	PMUDropped uint64 `json:"pmu_dropped"`
+
+	// Injected-fault telemetry (all zero without Spec.Faults).
+	PMUInjectedDrops     uint64 `json:"pmu_injected_drops,omitempty"`
+	PMUSkiddedSamples    uint64 `json:"pmu_skidded_samples,omitempty"`
+	PMUDelayedOverflows  uint64 `json:"pmu_delayed_overflows,omitempty"`
+	DRAMSkippedRefreshes uint64 `json:"dram_skipped_refreshes,omitempty"`
+	ECCTransientSingle   uint64 `json:"ecc_transient_single,omitempty"`
+	ECCTransientDouble   uint64 `json:"ecc_transient_double,omitempty"`
+	TimersDelayed        uint64 `json:"timers_delayed,omitempty"`
+	IRQCostCycles        uint64 `json:"irq_cost_cycles,omitempty"`
+
+	// ECC scrubber outcomes (zero without Spec.ECCScrub).
+	ECCCorrected     uint64 `json:"ecc_corrected,omitempty"`
+	ECCUncorrectable uint64 `json:"ecc_uncorrectable,omitempty"`
+}
+
+// Results snapshots the instance's counters.
+func (in *Instance) Results() Results {
+	m := in.Machine
+	r := Results{
+		Flips:       m.Mem.DRAM.FlipCount(),
+		Activations: m.Mem.DRAM.Stats().Activations,
+		PMUDropped:  m.Mem.PMU.Dropped(),
+	}
+	if in.Detector != nil {
+		st := in.Detector.Stats()
+		r.Detections = len(st.Detections)
+		r.DefenseRefreshes = st.Refreshes
+		r.SamplesTaken = st.SamplesTaken
+	} else if in.HW != nil {
+		r.DefenseRefreshes = in.HW.Refreshes()
+	}
+	fc := fault.Snapshot(m)
+	r.PMUInjectedDrops = fc.PMU.InjectedDrops
+	r.PMUSkiddedSamples = fc.PMU.SkiddedSamples
+	r.PMUDelayedOverflows = fc.PMU.DelayedOverflows
+	r.DRAMSkippedRefreshes = fc.DRAM.SkippedRefreshes
+	r.ECCTransientSingle = fc.DRAM.TransientSingle
+	r.ECCTransientDouble = fc.DRAM.TransientDouble
+	r.TimersDelayed = fc.Machine.DelayedTimers
+	r.IRQCostCycles = uint64(fc.Machine.IRQCostCycles)
+	if in.ECC != nil {
+		r.ECCCorrected = in.ECC.Corrected()
+		r.ECCUncorrectable = in.ECC.Uncorrectable()
+	}
+	return r
 }
 
 // RunUntilFlip drives the machine in fine slices until the first bit flip

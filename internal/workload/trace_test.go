@@ -131,7 +131,7 @@ func TestTraceProgramValidation(t *testing.T) {
 
 func TestRecorderCapturesAndReplays(t *testing.T) {
 	prof, _ := ByName("bzip2")
-	rec := NewRecorder(MustNew(prof).WithOpLimit(200), 0)
+	rec := NewRecorder(mustNew(t, prof).WithOpLimit(200), 0)
 	cfg := machine.DefaultConfig()
 	cfg.Cores = 1
 	m, err := machine.New(cfg)
@@ -180,7 +180,7 @@ func TestRecorderCapturesAndReplays(t *testing.T) {
 
 func TestRecorderLimit(t *testing.T) {
 	prof, _ := ByName("sjeng")
-	rec := NewRecorder(MustNew(prof), 10)
+	rec := NewRecorder(mustNew(t, prof), 10)
 	for i := 0; i < 100; i++ {
 		rec.Next()
 	}

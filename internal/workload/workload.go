@@ -139,18 +139,24 @@ func ComputeBound() []string {
 	return []string{"h264ref", "gobmk", "sjeng", "hmmer"}
 }
 
-// HeavyLoadTrio is the background load of the heavy-load detection
-// experiments: "mcf, libquantum and omnetpp running at the same time".
-func HeavyLoadTrio() []Profile {
+// HeavyLoadNames lists the heavy-load trio of the paper's detection
+// experiments by profile name: "mcf, libquantum and omnetpp running at the
+// same time".
+func HeavyLoadNames() []string { return []string{"mcf", "libquantum", "omnetpp"} }
+
+// HeavyLoadTrio resolves HeavyLoadNames to profiles. It errors (rather than
+// panics) on a missing profile so callers that assemble scenarios from
+// configuration keep their error path.
+func HeavyLoadTrio() ([]Profile, error) {
 	var out []Profile
-	for _, name := range []string{"mcf", "libquantum", "omnetpp"} {
+	for _, name := range HeavyLoadNames() {
 		p, ok := ByName(name)
 		if !ok {
-			panic("workload: missing heavy-load profile " + name)
+			return nil, fmt.Errorf("workload: missing heavy-load profile %q", name)
 		}
 		out = append(out, p)
 	}
-	return out
+	return out, nil
 }
 
 // ByName returns the named SPEC profile.
@@ -204,15 +210,6 @@ func New(prof Profile) (*Synthetic, error) {
 		footprint: fp,
 		rows:      fp / rowBytes,
 	}, nil
-}
-
-// MustNew is New that panics on error.
-func MustNew(prof Profile) *Synthetic {
-	s, err := New(prof)
-	if err != nil {
-		panic(err)
-	}
-	return s
 }
 
 // WithOpLimit makes the program finish after n memory operations.

@@ -8,6 +8,16 @@ import (
 	"repro/internal/pmu"
 )
 
+// mustNew builds a profile's synthetic program, failing the test on error.
+func mustNew(tb testing.TB, p Profile) *Synthetic {
+	tb.Helper()
+	s, err := New(p)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
 func TestProfileValidation(t *testing.T) {
 	bad := []Profile{
 		{},
@@ -45,7 +55,11 @@ func TestSPEC2006Complete(t *testing.T) {
 			t.Errorf("class list references unknown profile %s", name)
 		}
 	}
-	if len(HeavyLoadTrio()) != 3 {
+	trio, err := HeavyLoadTrio()
+	if err != nil {
+		t.Fatalf("HeavyLoadTrio: %v", err)
+	}
+	if len(trio) != 3 {
 		t.Error("heavy-load trio wrong size")
 	}
 	if _, ok := ByName("mcf"); !ok {
@@ -58,8 +72,8 @@ func TestSPEC2006Complete(t *testing.T) {
 
 func TestSyntheticDeterminism(t *testing.T) {
 	p, _ := ByName("bzip2")
-	a := MustNew(p)
-	b := MustNew(p)
+	a := mustNew(t, p)
+	b := mustNew(t, p)
 	// Address streams must be identical for identical seeds.
 	for i := 0; i < 1000; i++ {
 		oa, ob := a.Next(), b.Next()
@@ -71,7 +85,7 @@ func TestSyntheticDeterminism(t *testing.T) {
 
 func TestSyntheticOpLimit(t *testing.T) {
 	p, _ := ByName("hmmer")
-	s := MustNew(p).WithOpLimit(100)
+	s := mustNew(t, p).WithOpLimit(100)
 	memOps := 0
 	for i := 0; i < 10000; i++ {
 		op := s.Next()
@@ -92,7 +106,7 @@ func TestSyntheticOpLimit(t *testing.T) {
 
 func TestSyntheticStoreFraction(t *testing.T) {
 	p, _ := ByName("hmmer") // StoreFrac 0.45
-	s := MustNew(p)
+	s := mustNew(t, p)
 	loads, stores := 0, 0
 	for i := 0; i < 40000; i++ {
 		switch s.Next().Kind {
@@ -110,7 +124,7 @@ func TestSyntheticStoreFraction(t *testing.T) {
 
 func TestStreamPatternIsSequential(t *testing.T) {
 	p, _ := ByName("libquantum")
-	s := MustNew(p)
+	s := mustNew(t, p)
 	var prev uint64
 	first := true
 	count := 0
@@ -134,7 +148,7 @@ func TestStreamPatternIsSequential(t *testing.T) {
 func TestSkewConcentratesRows(t *testing.T) {
 	countTopRowShare := func(skew float64) float64 {
 		p := Profile{Name: "t", Pattern: Skewed, FootprintMB: 8, Skew: skew, Compute: 10, Seed: 9}
-		s := MustNew(p)
+		s := mustNew(t, p)
 		rows := map[uint64]int{}
 		const n = 20000
 		for i := 0; i < n*2; i++ {
@@ -177,7 +191,7 @@ func TestMissRateClasses(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := m.Spawn(0, MustNew(prof)); err != nil {
+		if _, err := m.Spawn(0, mustNew(t, prof)); err != nil {
 			t.Fatal(err)
 		}
 		// Warm up 6ms, then measure 24ms.
@@ -209,7 +223,7 @@ func TestActiveRegionSlidesDeterministically(t *testing.T) {
 	if err := p.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	s := MustNew(p)
+	s := mustNew(t, p)
 	region := uint64(p.RegionKB) << 10
 	bases := map[uint64]bool{}
 	for i := 0; i < 40000; i++ {
@@ -224,7 +238,7 @@ func TestActiveRegionSlidesDeterministically(t *testing.T) {
 		t.Errorf("region never slid: bases=%v", bases)
 	}
 	// Determinism.
-	a, b := MustNew(p), MustNew(p)
+	a, b := mustNew(t, p), mustNew(t, p)
 	for i := 0; i < 5000; i++ {
 		if x, y := a.Next(), b.Next(); x != y {
 			t.Fatalf("region stream nondeterministic at %d", i)
@@ -235,13 +249,30 @@ func TestActiveRegionSlidesDeterministically(t *testing.T) {
 func TestRegionAddressesWithinFootprint(t *testing.T) {
 	p := Profile{Name: "r", Pattern: Skewed, FootprintMB: 4, Skew: 1.2, Compute: 10,
 		RegionKB: 1024, RegionFrac: 0.5, RegionPeriod: 500, Seed: 8}
-	s := MustNew(p)
+	s := mustNew(t, p)
 	for i := 0; i < 50000; i++ {
 		op := s.Next()
 		if op.Kind == machine.OpLoad || op.Kind == machine.OpStore {
 			if op.VA >= coldBase && op.VA >= coldBase+uint64(p.FootprintMB)<<20 {
 				t.Fatalf("cold access %#x outside the footprint", op.VA)
 			}
+		}
+	}
+}
+
+func TestNewRejectsInvalidProfile(t *testing.T) {
+	if _, err := New(Profile{}); err == nil {
+		t.Error("empty profile accepted")
+	}
+	if _, err := New(Profile{Name: "x", FootprintMB: -1}); err == nil {
+		t.Error("negative footprint accepted")
+	}
+}
+
+func TestHeavyLoadNamesResolve(t *testing.T) {
+	for _, name := range HeavyLoadNames() {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("heavy-load name %q missing from SPEC2006", name)
 		}
 	}
 }
