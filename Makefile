@@ -3,7 +3,7 @@ GO ?= go
 # Packages with a BenchmarkHotPath microbenchmark of the per-access pipeline.
 BENCH_PKGS := ./internal/cache ./internal/pmu ./internal/dram ./internal/machine
 
-.PHONY: all build test race fuzz-smoke fault-smoke vet lint fmt check bench bench-smoke
+.PHONY: all build test race fuzz-smoke fault-smoke resume-smoke vet lint fmt check bench bench-smoke
 
 all: build test vet lint
 
@@ -22,12 +22,29 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzMapperRoundTrip -fuzztime 10s ./internal/dram
 	$(GO) test -run '^$$' -fuzz FuzzPolicyInvariants -fuzztime 10s ./internal/cache
 	$(GO) test -run '^$$' -fuzz FuzzFaultSpec -fuzztime 10s ./internal/fault
+	$(GO) test -run '^$$' -fuzz FuzzJournal -fuzztime 10s ./internal/journal
 
 # The degraded-hardware experiments under the hardened runner: per-replicate
 # timeouts and keep-going failure reporting exercised end to end.
 fault-smoke:
 	$(GO) run ./cmd/tables -quick -seed 7 -timeout 5m -keep-going \
 		-only degraded-sampling,fault-matrix
+
+# Durable sweeps end to end: a replicate budget truncates a journaled
+# fault-matrix run; the resumed run must merge byte-identically with an
+# uninterrupted golden.
+resume-smoke:
+	rm -rf /tmp/anvil-resume-smoke && mkdir -p /tmp/anvil-resume-smoke
+	$(GO) run ./cmd/tables -quick -seed 7 -only fault-matrix \
+		-out /tmp/anvil-resume-smoke/golden.json
+	$(GO) run ./cmd/tables -quick -seed 7 -only fault-matrix \
+		-journal /tmp/anvil-resume-smoke/jnl -budget 2 \
+		-out /tmp/anvil-resume-smoke/truncated.json
+	$(GO) run ./cmd/tables -quick -seed 7 -only fault-matrix \
+		-journal /tmp/anvil-resume-smoke/jnl -resume \
+		-out /tmp/anvil-resume-smoke/resumed.json
+	diff /tmp/anvil-resume-smoke/golden.json /tmp/anvil-resume-smoke/resumed.json
+	@echo "resume-smoke: resumed run is byte-identical to the golden"
 
 vet:
 	$(GO) vet ./...

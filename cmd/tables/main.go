@@ -5,6 +5,7 @@
 // Usage:
 //
 //	tables [-quick] [-seed N] [-parallel N] [-timeout D] [-keep-going] [-only table1,table3,...]
+//	tables -journal DIR [-resume] [-max-retries N] [-budget 30s|200]
 //	tables -json [-out results.json]
 //	tables -list
 //	tables -validate results.json
@@ -15,10 +16,22 @@
 // never a reported number); -timeout bounds each replicate's wall-clock time;
 // -keep-going records a failing experiment's error and moves on instead of
 // aborting the run; -only selects a comma-separated subset of the registered
-// experiment names (see -list). Interrupting the process (SIGINT/SIGTERM)
-// cancels in-flight sweeps promptly. -json emits the structured
-// results as a single JSON document on stdout (or to -out), a
-// trend-trackable artifact that -validate checks for completeness.
+// experiment names (see -list).
+//
+// Durable sweeps: -journal DIR checkpoints every sweep's completed
+// replicates to per-sweep journal files under DIR, and -resume merges them
+// back instead of re-running (a killed run continues where it stopped, at
+// any -parallel value, with byte-identical output). -max-retries re-runs
+// transiently-failed replicates with seeded exponential backoff. -budget
+// bounds each sweep — a duration ("30s") caps wall-clock time, an integer
+// ("200") caps executed replicates — after which sweeps degrade gracefully:
+// partial results are tagged truncated and the dropped replicates reported,
+// never silently missing. Interrupting the process (SIGINT/SIGTERM) cancels
+// in-flight sweeps promptly; with -journal the completed replicates are
+// already checkpointed, and the exit message names the resume command.
+// -json emits the structured results as a single JSON document on stdout
+// (or to -out), a trend-trackable artifact that -validate checks for
+// completeness.
 package main
 
 import (
@@ -29,6 +42,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -58,18 +72,22 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tables: ")
 	var (
-		quick     = flag.Bool("quick", false, "shrink experiment durations")
-		seed      = flag.Uint64("seed", 0, "root seed for machine-level randomness (0 = calibrated defaults)")
-		parallel  = flag.Int("parallel", 0, "worker pool size for multi-replicate experiments (0 = GOMAXPROCS)")
-		only      = flag.String("only", "", "comma-separated subset of experiments to run")
-		timeout   = flag.Duration("timeout", 0, "per-replicate wall-clock deadline (0 = none)")
-		keepGoing = flag.Bool("keep-going", false, "record a failing experiment's error and continue")
-		jsonOut   = flag.Bool("json", false, "emit structured results as JSON instead of text tables")
-		outPath   = flag.String("out", "", "write the JSON document to this file (implies -json)")
-		list      = flag.Bool("list", false, "list registered experiments and exit")
-		validate  = flag.String("validate", "", "validate a -json artifact against the registry and exit")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memProf   = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		quick      = flag.Bool("quick", false, "shrink experiment durations")
+		seed       = flag.Uint64("seed", 0, "root seed for machine-level randomness (0 = calibrated defaults)")
+		parallel   = flag.Int("parallel", 0, "worker pool size for multi-replicate experiments (0 = GOMAXPROCS)")
+		only       = flag.String("only", "", "comma-separated subset of experiments to run")
+		timeout    = flag.Duration("timeout", 0, "per-replicate wall-clock deadline (0 = none)")
+		keepGoing  = flag.Bool("keep-going", false, "record a failing experiment's error and continue")
+		jsonOut    = flag.Bool("json", false, "emit structured results as JSON instead of text tables")
+		outPath    = flag.String("out", "", "write the JSON document to this file (implies -json)")
+		journal    = flag.String("journal", "", "directory for sweep checkpoint journals (enables kill-and-resume)")
+		resume     = flag.Bool("resume", false, "resume completed replicates from existing -journal files")
+		maxRetries = flag.Int("max-retries", 0, "retry transiently-failed replicates up to N times with seeded backoff")
+		budget     = flag.String("budget", "", "per-sweep budget: a duration (wall-clock) or an integer (replicate count)")
+		list       = flag.Bool("list", false, "list registered experiments and exit")
+		validate   = flag.String("validate", "", "validate a -json artifact against the registry and exit")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -84,9 +102,7 @@ func main() {
 	}()
 
 	if *list {
-		for _, e := range scenario.Experiments() {
-			fmt.Printf("%-14s %s\n", e.Name, e.Desc)
-		}
+		fmt.Print(listText(*quick))
 		return
 	}
 	if *validate != "" {
@@ -97,15 +113,25 @@ func main() {
 		return
 	}
 
+	if *resume && *journal == "" {
+		log.Fatal("-resume needs -journal: there is no journal directory to resume from")
+	}
+	sweepBudget, err := parseBudget(*budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	cfg := scenario.Config{
-		Quick:     *quick,
-		Seed:      *seed,
-		Parallel:  *parallel,
-		Timeout:   *timeout,
-		KeepGoing: *keepGoing,
-		Ctx:       ctx,
+		Quick:      *quick,
+		Seed:       *seed,
+		Parallel:   *parallel,
+		Timeout:    *timeout,
+		KeepGoing:  *keepGoing,
+		MaxRetries: *maxRetries,
+		Budget:     sweepBudget,
+		Ctx:        ctx,
 	}
 	selected := map[string]bool{}
 	for _, s := range strings.Split(*only, ",") {
@@ -124,9 +150,26 @@ func main() {
 		if !want(e.Name) {
 			continue
 		}
+		ecfg := cfg
+		if *journal != "" {
+			// Each experiment journals under its own name; the journaled
+			// Config owns a fresh per-run sweep sequence.
+			ecfg = cfg.WithJournal(*journal, *resume)
+			ecfg.Sweep = e.Name
+		}
 		start := time.Now() //lint:allow detrand host-side CLI timing how long table regeneration takes
-		res, err := e.Run(cfg)
+		res, err := e.Run(ecfg)
 		if err != nil {
+			if ctx.Err() != nil {
+				// Interrupted: even under -keep-going there is no point
+				// starting the next experiment — every sweep it runs would
+				// be stillborn. With a journal the finished replicates are
+				// already checkpointed.
+				if *journal != "" {
+					log.Fatalf("%s interrupted: %v\ncheckpoints saved under %s; rerun with -journal %s -resume to continue", e.Name, err, *journal, *journal)
+				}
+				log.Fatalf("%s interrupted: %v", e.Name, err)
+			}
 			if !*keepGoing {
 				log.Fatalf("%s failed: %v", e.Name, err)
 			}
@@ -169,6 +212,48 @@ func main() {
 			os.Stdout.Write(enc)
 		}
 	}
+}
+
+// listText renders the -list table: every registered experiment with its
+// estimated top-level replicate count under the given mode.
+func listText(quick bool) string {
+	cfg := scenario.Config{Quick: quick}
+	mode := "full"
+	if quick {
+		mode = "quick"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %5s  %s\n", "EXPERIMENT", "REPS", "DESCRIPTION")
+	total := 0
+	for _, e := range scenario.Experiments() {
+		reps := e.EstimatedReps(cfg)
+		total += reps
+		fmt.Fprintf(&b, "%-18s %5d  %s\n", e.Name, reps, e.Desc)
+	}
+	fmt.Fprintf(&b, "%-18s %5d  (%s mode; estimated top-level replicates)\n", "total", total, mode)
+	return b.String()
+}
+
+// parseBudget reads the -budget flag: a time.Duration caps a sweep's
+// wall-clock time, a bare integer caps its executed replicate count.
+func parseBudget(s string) (scenario.Budget, error) {
+	if s == "" {
+		return scenario.Budget{}, nil
+	}
+	if n, err := strconv.Atoi(s); err == nil {
+		if n <= 0 {
+			return scenario.Budget{}, fmt.Errorf("-budget %d: replicate budget must be positive", n)
+		}
+		return scenario.Budget{Replicates: n}, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return scenario.Budget{}, fmt.Errorf("-budget %q: want a duration (30s) or a replicate count (200)", s)
+	}
+	if d <= 0 {
+		return scenario.Budget{}, fmt.Errorf("-budget %v: wall-clock budget must be positive", d)
+	}
+	return scenario.Budget{WallClock: d}, nil
 }
 
 // validateArtifact checks that a -json document parses and covers every

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the -list golden files")
+
+// TestListGolden pins the -list output — including the estimated replicate
+// counts — for both modes. Regenerate with -update-golden after registering
+// an experiment or changing a sweep size.
+func TestListGolden(t *testing.T) {
+	for _, tc := range []struct {
+		quick  bool
+		golden string
+	}{
+		{false, "list_full.golden"},
+		{true, "list_quick.golden"},
+	} {
+		path := filepath.Join("testdata", tc.golden)
+		got := listText(tc.quick)
+		if *updateGolden {
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != string(want) {
+			t.Errorf("%s: -list output drifted from golden.\ngot:\n%s\nwant:\n%s\n(run with -update-golden to accept)", tc.golden, got, want)
+		}
+	}
+}
+
+func TestParseBudget(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want scenario.Budget
+		ok   bool
+	}{
+		{"", scenario.Budget{}, true},
+		{"200", scenario.Budget{Replicates: 200}, true},
+		{"30s", scenario.Budget{WallClock: 30 * time.Second}, true},
+		{"1h30m", scenario.Budget{WallClock: 90 * time.Minute}, true},
+		{"0", scenario.Budget{}, false},
+		{"-5", scenario.Budget{}, false},
+		{"-2s", scenario.Budget{}, false},
+		{"soon", scenario.Budget{}, false},
+	} {
+		got, err := parseBudget(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("parseBudget(%q): err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("parseBudget(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}

@@ -76,6 +76,10 @@ type Table1SweepRow struct {
 	MinAccessesMed   uint64        `json:"min_accesses_median"`
 	TimeToFlipMin    time.Duration `json:"time_to_flip_min"`
 	TimeToFlipMedian time.Duration `json:"time_to_flip_median"`
+	// Truncated marks a row aggregated from a budget-truncated sweep; Seeds
+	// then counts the seeds that actually completed, not the configured
+	// sweep size.
+	Truncated bool `json:"truncated,omitempty"`
 }
 
 // table1SweepSeeds is the replicate count of the multi-seed sweep: the full
@@ -93,7 +97,7 @@ func table1SweepSeeds(cfg Config) int {
 // parallelism changes wall-clock time only, never a reported number.
 func Table1Sweep(cfg Config) ([]Table1SweepRow, error) {
 	seeds := table1SweepSeeds(cfg)
-	reps, err := scenario.RunReplicates(cfg, seeds, func(rep int) ([]Table1Row, error) {
+	reps, status, err := scenario.RunReplicatesSweep(cfg, seeds, func(rep int) ([]Table1Row, error) {
 		return Table1(Config{
 			Quick:    cfg.Quick,
 			Seed:     scenario.ReplicateSeed(cfg.Seed, rep),
@@ -103,12 +107,23 @@ func Table1Sweep(cfg Config) ([]Table1SweepRow, error) {
 	if err != nil {
 		return nil, err
 	}
+	dropped := make(map[int]bool, len(status.Dropped))
+	for _, rep := range status.Dropped {
+		dropped[rep] = true
+	}
+	completed := seeds - len(status.Dropped)
+	if status.Truncated && completed == 0 {
+		return nil, fmt.Errorf("experiments: table1 sweep truncated (%s) before any seed completed; nothing to aggregate", status.Reason)
+	}
 	var out []Table1SweepRow
 	for i, kind := range scenario.AttackKinds() {
-		row := Table1SweepRow{Technique: kind.Label(), Seeds: seeds}
+		row := Table1SweepRow{Technique: kind.Label(), Seeds: completed, Truncated: status.Truncated}
 		var accesses []uint64
 		var times []time.Duration
-		for _, rows := range reps {
+		for repIdx, rows := range reps {
+			if dropped[repIdx] {
+				continue
+			}
 			r := rows[i]
 			if !r.Flipped {
 				continue

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"context"
 	"fmt"
 	"time"
 
@@ -30,6 +29,11 @@ type DegradedSamplingRow struct {
 	// InjectedDrops / SamplesTaken report the injected noise level.
 	InjectedDrops uint64 `json:"injected_drops"`
 	SamplesTaken  uint64 `json:"samples_taken"`
+	// Truncated marks a row aggregated from a budget-truncated sweep:
+	// only SeedsUsed complete seed groups contributed instead of the full
+	// replicate set.
+	Truncated bool `json:"truncated,omitempty"`
+	SeedsUsed int  `json:"seeds_used,omitempty"`
 }
 
 // degradedSpec is the sweep's scenario: the §4.5 future-DRAM setting (half
@@ -54,20 +58,28 @@ func degradedSamplingSpec(seed uint64, drop float64) scenario.Spec {
 	return s
 }
 
+// degradedSamplingReps is the sweep's seed-group count.
+func degradedSamplingReps(cfg Config) int {
+	if cfg.Quick {
+		return 3
+	}
+	return 6
+}
+
 // DegradedSampling sweeps ANVIL's flip prevention against PMU sample-drop
 // rates. Every drop rate runs the same paired replicate seeds (and the
 // no-defense baseline runs once per seed), so the sweep isolates the fault
-// injector: the only thing that changes along a row is the drop rate.
+// injector: the only thing that changes along a row is the drop rate. A
+// budget-truncated sweep degrades gracefully: rows aggregate only the seed
+// groups whose replicates all completed and say so (Truncated, SeedsUsed) —
+// a point is never averaged against a baseline it did not run under.
 func DegradedSampling(cfg Config) ([]DegradedSamplingRow, error) {
 	dur := cfg.ScaleDur(512 * time.Millisecond)
-	reps := 6
-	if cfg.Quick {
-		reps = 3
-	}
+	reps := degradedSamplingReps(cfg)
 	// Replicate layout: point 0 is the no-defense baseline, points 1.. are
 	// the drop rates; all points of one seed share that seed.
 	points := 1 + len(dropRates)
-	runs, err := scenario.RunReplicates(cfg, reps*points, func(rep int) (scenario.Results, error) {
+	runs, status, err := scenario.RunReplicatesSweep(cfg, reps*points, func(rep int) (scenario.Results, error) {
 		seedIdx, point := rep/points, rep%points
 		seed := scenario.ReplicateSeed(cfg.Seed, seedIdx)
 		var spec scenario.Spec
@@ -82,6 +94,11 @@ func DegradedSampling(cfg Config) ([]DegradedSamplingRow, error) {
 			return scenario.Results{}, err
 		}
 		if err := in.RunFor(dur); err != nil {
+			// Injected-fault replicates may legitimately fail transiently
+			// (e.g. an uncorrectable ECC stop); mark them retryable.
+			if !spec.Faults.IsZero() {
+				err = scenario.MarkTransient(err)
+			}
 			return scenario.Results{}, err
 		}
 		return in.Results(), nil
@@ -89,8 +106,29 @@ func DegradedSampling(cfg Config) ([]DegradedSamplingRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	baseline := 0
+	dropped := make(map[int]bool, len(status.Dropped))
+	for _, rep := range status.Dropped {
+		dropped[rep] = true
+	}
+	// A seed group counts only when all its points completed.
+	var groups []int
 	for seedIdx := 0; seedIdx < reps; seedIdx++ {
+		whole := true
+		for point := 0; point < points; point++ {
+			if dropped[seedIdx*points+point] {
+				whole = false
+				break
+			}
+		}
+		if whole {
+			groups = append(groups, seedIdx)
+		}
+	}
+	if status.Truncated && len(groups) == 0 {
+		return nil, fmt.Errorf("experiments: degraded-sampling truncated (%s) before any seed group completed; nothing to aggregate", status.Reason)
+	}
+	baseline := 0
+	for _, seedIdx := range groups {
 		baseline += runs[seedIdx*points].Flips
 	}
 	if baseline == 0 {
@@ -99,7 +137,11 @@ func DegradedSampling(cfg Config) ([]DegradedSamplingRow, error) {
 	rows := make([]DegradedSamplingRow, len(dropRates))
 	for i, rate := range dropRates {
 		row := DegradedSamplingRow{DropRate: rate, BaselineFlips: baseline}
-		for seedIdx := 0; seedIdx < reps; seedIdx++ {
+		if status.Truncated {
+			row.Truncated = true
+			row.SeedsUsed = len(groups)
+		}
+		for _, seedIdx := range groups {
 			r := runs[seedIdx*points+1+i]
 			row.Flips += r.Flips
 			row.Detections += r.Detections
@@ -169,45 +211,62 @@ type FaultMatrixRow struct {
 	// Err records a failed replicate (keep-going: the rest of the matrix
 	// still reports).
 	Err string `json:"err,omitempty"`
+	// Skipped marks a profile the sweep's budget dropped before it ran; Err
+	// carries the reason. A skipped row is not a failure.
+	Skipped bool `json:"skipped,omitempty"`
 	scenario.Results
+}
+
+// faultMatrixReplicate runs one degraded-hardware profile of the matrix: the
+// double-sided CLFLUSH attack under ANVIL-baseline for dur. Failures of
+// fault-injected profiles are marked transient — a retry under the same seed
+// is the honest rerun of an injected-fault casualty.
+func faultMatrixReplicate(cfg Config, p faultProfile, dur time.Duration) (scenario.Results, error) {
+	in, err := scenario.Build(scenario.Spec{
+		Cores:    1,
+		Seed:     cfg.Seed,
+		Attack:   &scenario.Attack{Kind: scenario.DoubleSidedFlush},
+		Defense:  scenario.ANVILBaseline,
+		Faults:   p.faults,
+		ECCScrub: p.eccScrub,
+	})
+	if err != nil {
+		return scenario.Results{}, err
+	}
+	if err := in.RunFor(dur); err != nil {
+		if !p.faults.IsZero() {
+			err = scenario.MarkTransient(err)
+		}
+		return scenario.Results{}, err
+	}
+	return in.Results(), nil
 }
 
 // FaultMatrix runs the double-sided CLFLUSH attack under ANVIL-baseline on
 // every degraded-hardware profile. The sweep always keeps going: one broken
-// profile reports its error in its row instead of sinking the matrix.
+// profile reports its error in its row instead of sinking the matrix, and a
+// budget-truncated sweep reports the profiles it skipped in their rows.
 func FaultMatrix(cfg Config) ([]FaultMatrixRow, error) {
 	dur := cfg.ScaleDur(256 * time.Millisecond)
 	profiles := faultProfiles()
-	opts := cfg.RunOptions()
-	opts.KeepGoing = true
-	runs, err := scenario.RunManyCtx(cfg.Context(), len(profiles), opts,
-		func(_ context.Context, rep int) (scenario.Results, error) {
-			p := profiles[rep]
-			in, err := scenario.Build(scenario.Spec{
-				Cores:    1,
-				Seed:     cfg.Seed,
-				Attack:   &scenario.Attack{Kind: scenario.DoubleSidedFlush},
-				Defense:  scenario.ANVILBaseline,
-				Faults:   p.faults,
-				ECCScrub: p.eccScrub,
-			})
-			if err != nil {
-				return scenario.Results{}, err
-			}
-			if err := in.RunFor(dur); err != nil {
-				return scenario.Results{}, err
-			}
-			return in.Results(), nil
-		})
+	cfg.KeepGoing = true
+	runs, status, err := scenario.RunReplicatesSweep(cfg, len(profiles), func(rep int) (scenario.Results, error) {
+		return faultMatrixReplicate(cfg, profiles[rep], dur)
+	})
+	if err != nil {
+		if _, ok := err.(*scenario.SweepError); !ok {
+			return nil, err
+		}
+	}
 	rows := make([]FaultMatrixRow, len(profiles))
 	for i, p := range profiles {
 		rows[i] = FaultMatrixRow{Profile: p.name, Desc: p.desc, Results: runs[i]}
 	}
-	if err != nil {
-		se, ok := err.(*scenario.SweepError)
-		if !ok {
-			return nil, err
-		}
+	for _, rep := range status.Dropped {
+		rows[rep].Skipped = true
+		rows[rep].Err = "skipped: " + status.Reason
+	}
+	if se, ok := err.(*scenario.SweepError); ok {
 		for _, f := range se.Failures {
 			rows[f.Rep].Err = f.Err.Error()
 		}
@@ -220,6 +279,10 @@ func RenderFaultMatrix(rows []FaultMatrixRow) string {
 	t := report.New("Fault Matrix: double-sided CLFLUSH vs ANVIL-baseline on degraded hardware",
 		"Profile", "Flips", "Detections", "Refreshes", "Injected Noise")
 	for _, r := range rows {
+		if r.Skipped {
+			t.AddStrings(r.Profile, "-", "-", "-", r.Err)
+			continue
+		}
 		if r.Err != "" {
 			t.AddStrings(r.Profile, "-", "-", "-", "error: "+r.Err)
 			continue

@@ -80,6 +80,10 @@ type DefenseRow struct {
 	Deployable string `json:"deployable"` // "existing systems" vs "new hardware"
 }
 
+// defenseEntryCount is the mitigation count of Defenses, kept next to its
+// entry list for registry replicate estimates.
+const defenseEntryCount = 8
+
 // Defenses is the extension comparison (§5 landscape): every mitigation in
 // the repository against the double-sided CLFLUSH attack on the standard
 // module, one independent replicate per defense.
@@ -100,6 +104,9 @@ func Defenses(cfg Config) ([]DefenseRow, error) {
 		{"pTRR 1%/64-entry", 1, scenario.PTRR, "shipping (Xeon)"},
 		{"CRA counters 100K", 1, scenario.CRA, "new hardware"},
 		{"ARMOR hot-row buffer", 1, scenario.ARMOR, "new hardware"},
+	}
+	if len(entries) != defenseEntryCount {
+		return nil, fmt.Errorf("experiments: defenseEntryCount (%d) out of sync with the entry list (%d)", defenseEntryCount, len(entries))
 	}
 	return scenario.RunReplicates(cfg, len(entries), func(rep int) (DefenseRow, error) {
 		e := entries[rep]

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/scenario"
+	"repro/internal/workload"
 )
 
 // result adapts an experiment's structured data to the registry's Result
@@ -61,6 +62,7 @@ func init() {
 				{Name: "free-ms", Value: ms(rows[2].TimeToFlip)},
 			}
 		}),
+		Reps: func(Config) int { return len(scenario.AttackKinds()) },
 	})
 	scenario.Register(scenario.Experiment{
 		Name: "table1-sweep",
@@ -72,6 +74,7 @@ func init() {
 				{Name: "flips", Value: float64(rows[0].Flips + rows[1].Flips + rows[2].Flips)},
 			}
 		}),
+		Reps: table1SweepSeeds,
 	})
 	scenario.Register(scenario.Experiment{
 		Name: "figure1",
@@ -110,6 +113,13 @@ func init() {
 				{Name: "clflush-heavy-refr/64ms", Value: rows[0].RefreshesPer64ms},
 			}
 		}),
+		Reps: func(cfg Config) int {
+			trials := 4
+			if cfg.Quick {
+				trials = 2
+			}
+			return 4 * trials // four (attack, load) points
+		},
 	})
 	scenario.Register(scenario.Experiment{
 		Name: "table4",
@@ -127,6 +137,7 @@ func init() {
 				{Name: "mean-refr/s", Value: sum / float64(len(rows))},
 			}
 		}),
+		Reps: func(Config) int { return len(workload.SPEC2006()) },
 	})
 	scenario.Register(scenario.Experiment{
 		Name: "figure3",
@@ -138,6 +149,7 @@ func init() {
 				{Name: "anvil-peak-%", Value: (peak - 1) * 100},
 			}
 		}),
+		Reps: func(Config) int { return len(workload.SPEC2006()) },
 	})
 	scenario.Register(scenario.Experiment{
 		Name: "figure4",
@@ -156,6 +168,7 @@ func init() {
 				{Name: "heavy-mean-%", Value: 100 * heavy / n},
 			}
 		}),
+		Reps: func(Config) int { return len(figure4Benchmarks()) },
 	})
 	scenario.Register(scenario.Experiment{
 		Name: "table5",
@@ -172,6 +185,7 @@ func init() {
 				{Name: "heavy-mean-refr/s", Value: heavy / n},
 			}
 		}),
+		Reps: func(Config) int { return 2 * len(figure4Benchmarks()) }, // light + heavy sweeps
 	})
 	scenario.Register(scenario.Experiment{
 		Name: "section45",
@@ -182,6 +196,7 @@ func init() {
 				{Name: "slow-detections", Value: float64(rows[1].Detections)},
 			}
 		}),
+		Reps: func(Config) int { return 2 },
 	})
 	scenario.Register(scenario.Experiment{
 		Name: "defenses",
@@ -189,6 +204,7 @@ func init() {
 		Run: wrap(Defenses, RenderDefenses, func(rows []DefenseRow) []scenario.Metric {
 			return []scenario.Metric{{Name: "unprotected-flips", Value: float64(rows[0].BitFlips)}}
 		}),
+		Reps: func(Config) int { return defenseEntryCount },
 	})
 	scenario.Register(scenario.Experiment{
 		Name: "degraded-sampling",
@@ -203,6 +219,7 @@ func init() {
 			}
 			return out
 		}),
+		Reps: func(cfg Config) int { return degradedSamplingReps(cfg) * (1 + len(dropRates)) },
 	})
 	scenario.Register(scenario.Experiment{
 		Name: "fault-matrix",
@@ -220,5 +237,6 @@ func init() {
 				{Name: "failed-profiles", Value: errs},
 			}
 		}),
+		Reps: func(Config) int { return len(faultProfiles()) },
 	})
 }

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"os/exec"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// The kill-and-resume test re-executes the test binary as a sweep process
+// and kills it from the inside at a chosen replicate; these env vars carry
+// the journal directory and kill point to the helper.
+const (
+	resumeHelperDirEnv  = "ANVIL_RESUME_HELPER_DIR"
+	resumeHelperKillEnv = "ANVIL_RESUME_KILL_AFTER"
+	resumeHelperExit    = 57
+)
+
+// resumeSweepConfig is the sweep both processes run: quick fault matrix,
+// fixed seed. Parallelism intentionally differs between the killed run (1)
+// and the resumed run (3) — the merged output must not care.
+func resumeSweepConfig() (Config, []faultProfile, time.Duration) {
+	cfg := Config{Quick: true, Seed: 7, Parallel: 1, Sweep: "fault-matrix"}
+	return cfg, faultProfiles(), cfg.ScaleDur(256 * time.Millisecond)
+}
+
+// TestFaultMatrixResumeHelper is the subprocess body: it runs the
+// fault-matrix sweep with a journal and exits hard — no cleanup, no journal
+// Close — once killAfter replicates have completed, before the killAfter-th
+// record reaches the journal. Skipped unless launched by the parent test.
+func TestFaultMatrixResumeHelper(t *testing.T) {
+	dir := os.Getenv(resumeHelperDirEnv)
+	if dir == "" {
+		t.Skip("helper body; run via TestFaultMatrixKillAndResume")
+	}
+	killAfter, err := strconv.Atoi(os.Getenv(resumeHelperKillEnv))
+	if err != nil || killAfter < 1 {
+		t.Fatalf("bad %s: %v", resumeHelperKillEnv, err)
+	}
+	cfg, profiles, dur := resumeSweepConfig()
+	cfg = cfg.WithJournal(dir, false)
+	var completed atomic.Int32
+	_, _, _ = scenario.RunReplicatesSweep(cfg, len(profiles), func(rep int) (scenario.Results, error) {
+		res, err := faultMatrixReplicate(cfg, profiles[rep], dur)
+		if err == nil && int(completed.Add(1)) >= killAfter {
+			os.Exit(resumeHelperExit) // simulate a kill mid-sweep
+		}
+		return res, err
+	})
+	t.Fatalf("sweep finished without reaching the kill point (killAfter=%d)", killAfter)
+}
+
+// TestFaultMatrixKillAndResume kills a journaled fault-matrix sweep at a
+// (seeded-random) replicate in a subprocess, resumes it in-process at a
+// different worker count, and asserts the merged JSON is byte-identical to
+// an uninterrupted run.
+func TestFaultMatrixKillAndResume(t *testing.T) {
+	if os.Getenv(resumeHelperDirEnv) != "" {
+		t.Skip("already inside the helper subprocess")
+	}
+	cfg, profiles, dur := resumeSweepConfig()
+
+	// Golden: the uninterrupted sweep, no journal.
+	golden, status, err := scenario.RunReplicatesSweep(cfg, len(profiles), func(rep int) (scenario.Results, error) {
+		return faultMatrixReplicate(cfg, profiles[rep], dur)
+	})
+	if err != nil || status.Truncated {
+		t.Fatalf("golden sweep: err=%v status=%+v", err, status)
+	}
+	goldenJSON, err := json.Marshal(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the journaled sweep after a seeded-random number of completed
+	// replicates (at least one record in the journal, at least one missing).
+	dir := t.TempDir()
+	killAfter := 2 + int(sim.NewRand(0xC0FFEE).Uint64n(uint64(len(profiles)-2)))
+	cmd := exec.Command(os.Args[0], "-test.run=^TestFaultMatrixResumeHelper$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		resumeHelperDirEnv+"="+dir,
+		resumeHelperKillEnv+"="+strconv.Itoa(killAfter))
+	out, err := cmd.CombinedOutput()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != resumeHelperExit {
+		t.Fatalf("helper did not die at the kill point: err=%v\n%s", err, out)
+	}
+
+	// Resume at a different worker count; the sweep must pick up exactly the
+	// journaled replicates and merge byte-identically with the golden run.
+	rcfg := cfg
+	rcfg.Parallel = 3
+	rcfg = rcfg.WithJournal(dir, true)
+	resumed, rstatus, err := scenario.RunReplicatesSweep(rcfg, len(profiles), func(rep int) (scenario.Results, error) {
+		return faultMatrixReplicate(rcfg, profiles[rep], dur)
+	})
+	if err != nil {
+		t.Fatalf("resumed sweep: %v", err)
+	}
+	// The helper exits before the killAfter-th record is journaled, so
+	// exactly killAfter-1 replicates come back from the journal.
+	if rstatus.Resumed != killAfter-1 {
+		t.Errorf("Resumed = %d, want %d", rstatus.Resumed, killAfter-1)
+	}
+	resumedJSON, err := json.Marshal(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(goldenJSON, resumedJSON) {
+		t.Fatalf("resumed sweep is not byte-identical to the uninterrupted run:\ngolden:  %s\nresumed: %s", goldenJSON, resumedJSON)
+	}
+}

@@ -1,0 +1,264 @@
+// Package journal is an append-only, CRC-framed record log used to
+// checkpoint long sweeps. A journal file is a fixed 8-byte magic header
+// followed by frames of the form
+//
+//	uint32 LE payload length | uint32 LE CRC-32C(payload) | payload
+//
+// The format is deliberately dumb: no index, no compaction, no in-place
+// mutation. Durability comes from batched fsync (every SyncEvery appends and
+// on Close), and crash tolerance from the framing — a process killed
+// mid-write leaves a torn final frame that Recover detects and truncates, so
+// every fully-written record before it is readable again. Readers stop at
+// the first frame whose length or checksum does not validate and never
+// panic on arbitrary bytes; everything after a corrupt frame is
+// unreachable by construction, which is exactly the prefix-durability
+// contract resumable sweeps need.
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// magic identifies a journal file (and its format version).
+const magic = "ANVJNL1\n"
+
+// MaxRecord bounds a single payload. The bound exists so that a corrupted
+// length field cannot make a reader allocate gigabytes: any length above it
+// is treated as a corrupt frame.
+const MaxRecord = 1 << 26
+
+// DefaultSyncEvery is the Writer's fsync batch size when SyncEvery is zero.
+const DefaultSyncEvery = 8
+
+// ErrCorrupt marks an unreadable frame: a torn tail, a bad checksum, or an
+// implausible length. errors.Is(err, ErrCorrupt) identifies it.
+var ErrCorrupt = errors.New("journal: corrupt frame")
+
+// castagnoli is the CRC-32C table shared by writers and readers.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+const headerLen = len(magic)
+const frameHeaderLen = 8 // uint32 length + uint32 crc
+
+// A Writer appends CRC-framed records to a journal file. It is not safe for
+// concurrent use; callers that share one across goroutines must serialize
+// Append themselves.
+type Writer struct {
+	// SyncEvery batches fsyncs: the file is fsynced after every SyncEvery
+	// appended records, and always on Sync and Close. Zero means
+	// DefaultSyncEvery; 1 syncs every record.
+	SyncEvery int
+
+	f        *os.File
+	scratch  []byte
+	unsynced int
+}
+
+// Create starts a fresh journal at path, failing if one already exists
+// (resuming an existing file goes through Recover instead).
+func Create(path string) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write([]byte(magic)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: writing header: %w", err)
+	}
+	return &Writer{f: f}, nil
+}
+
+// Append frames one record onto the journal. The frame reaches the kernel in
+// a single write; it reaches stable storage at the next batched fsync.
+func (w *Writer) Append(payload []byte) error {
+	if len(payload) > MaxRecord {
+		return fmt.Errorf("journal: record of %d bytes exceeds MaxRecord (%d)", len(payload), MaxRecord)
+	}
+	need := frameHeaderLen + len(payload)
+	if cap(w.scratch) < need {
+		w.scratch = make([]byte, need)
+	}
+	frame := w.scratch[:need]
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+	copy(frame[frameHeaderLen:], payload)
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	w.unsynced++
+	batch := w.SyncEvery
+	if batch <= 0 {
+		batch = DefaultSyncEvery
+	}
+	if w.unsynced >= batch {
+		return w.Sync()
+	}
+	return nil
+}
+
+// Sync flushes every appended record to stable storage.
+func (w *Writer) Sync() error {
+	if w.unsynced == 0 {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	w.unsynced = 0
+	return nil
+}
+
+// Close syncs outstanding records and closes the file.
+func (w *Writer) Close() error {
+	err := w.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// A Reader decodes frames from a journal stream. Next returns records in
+// order, io.EOF at a clean end, and an ErrCorrupt-wrapped error at the first
+// torn or corrupt frame; it never panics on arbitrary input.
+type Reader struct {
+	r   *bufio.Reader
+	off int64 // bytes consumed by the header and fully-validated frames
+	err error // sticky terminal state
+}
+
+// NewReader validates the magic header and positions the reader at the first
+// frame.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, headerLen)
+	n, err := io.ReadFull(br, head)
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		// A file killed mid-Create carries a prefix of the magic; that is a
+		// torn (empty) journal — Recover rewinds it — not a foreign file,
+		// which is refused outright.
+		if bytes.Equal(head[:n], []byte(magic)[:n]) {
+			return nil, fmt.Errorf("%w: torn header", ErrCorrupt)
+		}
+		return nil, fmt.Errorf("journal: %d-byte file does not start a journal header", n)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("journal: reading header: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("journal: bad magic %q: not a journal file", head)
+	}
+	return &Reader{r: br, off: int64(headerLen)}, nil
+}
+
+// Next returns the next record's payload. After any non-nil error the reader
+// stays terminated and keeps returning that error.
+func (rd *Reader) Next() ([]byte, error) {
+	if rd.err != nil {
+		return nil, rd.err
+	}
+	var head [frameHeaderLen]byte
+	if _, err := io.ReadFull(rd.r, head[:]); err != nil {
+		if err == io.EOF {
+			rd.err = io.EOF // clean end: EOF exactly on a frame boundary
+		} else if err == io.ErrUnexpectedEOF {
+			rd.err = fmt.Errorf("%w: torn frame header at offset %d", ErrCorrupt, rd.off)
+		} else {
+			rd.err = fmt.Errorf("journal: reading frame at offset %d: %w", rd.off, err)
+		}
+		return nil, rd.err
+	}
+	length := binary.LittleEndian.Uint32(head[0:4])
+	if length > MaxRecord {
+		rd.err = fmt.Errorf("%w: implausible record length %d at offset %d", ErrCorrupt, length, rd.off)
+		return nil, rd.err
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(rd.r, payload); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			rd.err = fmt.Errorf("%w: torn record at offset %d", ErrCorrupt, rd.off)
+		} else {
+			rd.err = fmt.Errorf("journal: reading record at offset %d: %w", rd.off, err)
+		}
+		return nil, rd.err
+	}
+	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(head[4:8]); got != want {
+		rd.err = fmt.Errorf("%w: checksum mismatch at offset %d (%#x != %#x)", ErrCorrupt, rd.off, got, want)
+		return nil, rd.err
+	}
+	rd.off += int64(frameHeaderLen) + int64(length)
+	return payload, nil
+}
+
+// Offset is the file position just past the last fully-validated frame (or
+// past the header before any frame was read). Recover truncates to it.
+func (rd *Reader) Offset() int64 { return rd.off }
+
+// Recover opens an existing journal for appending: it reads every valid
+// record, truncates any torn or corrupt tail, and returns the records
+// alongside a Writer positioned at the new end. An empty (or torn-header)
+// file is rewound to a fresh journal with zero records. A file with foreign
+// magic is refused.
+func Recover(path string) ([][]byte, *Writer, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	rd, err := NewReader(f)
+	if err != nil {
+		if errors.Is(err, ErrCorrupt) {
+			// Torn header: rewind to a fresh journal.
+			if err := rewrite(f); err != nil {
+				f.Close()
+				return nil, nil, err
+			}
+			return nil, &Writer{f: f}, nil
+		}
+		f.Close()
+		return nil, nil, err
+	}
+	var records [][]byte
+	for {
+		payload, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if errors.Is(err, ErrCorrupt) {
+			break // truncate below; the valid prefix survives
+		}
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		records = append(records, payload)
+	}
+	if err := f.Truncate(rd.Offset()); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: truncating torn tail: %w", err)
+	}
+	if _, err := f.Seek(rd.Offset(), io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return records, &Writer{f: f}, nil
+}
+
+// rewrite resets a torn-header file to an empty journal.
+func rewrite(f *os.File) error {
+	if err := f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte(magic)); err != nil {
+		return fmt.Errorf("journal: rewriting header: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,266 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeAll creates a journal at path holding the given records.
+func writeAll(t *testing.T, path string, records [][]byte) {
+	t.Helper()
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range records {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sampleRecords() [][]byte {
+	return [][]byte{
+		[]byte(`{"kind":"meta","sweep":"t"}`),
+		[]byte(`{"kind":"replicate","rep":0}`),
+		{}, // empty payloads are legal records
+		bytes.Repeat([]byte{0xab}, 1000),
+	}
+}
+
+func TestCreateAppendRecover(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.jnl")
+	want := sampleRecords()
+	writeAll(t, path, want)
+
+	got, w, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+
+	// The recovered writer appends where the journal left off.
+	extra := []byte("after recovery")
+	if err := w.Append(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got2, w2, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(got2) != len(want)+1 || !bytes.Equal(got2[len(want)], extra) {
+		t.Errorf("after append-and-recover got %d records (last %q)", len(got2), got2[len(got2)-1])
+	}
+}
+
+func TestCreateRefusesExistingFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.jnl")
+	writeAll(t, path, nil)
+	if _, err := Create(path); err == nil {
+		t.Fatal("Create on an existing journal succeeded")
+	}
+}
+
+func TestRecoverTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	want := sampleRecords()
+	full := filepath.Join(dir, "full.jnl")
+	writeAll(t, full, want)
+	raw, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cut the file at every byte offset inside the final frame: Recover must
+	// always return the first three records and leave an appendable journal.
+	lastFrame := int64(len(raw)) - int64(frameHeaderLen+1000)
+	for _, cut := range []int64{lastFrame, lastFrame + 3, lastFrame + frameHeaderLen, int64(len(raw)) - 1} {
+		path := filepath.Join(dir, fmt.Sprintf("cut%d.jnl", cut))
+		if err := os.WriteFile(path, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, w, err := Recover(path)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(got) != len(want)-1 {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, len(got), len(want)-1)
+		}
+		if err := w.Append([]byte("tail")); err != nil {
+			t.Fatalf("cut %d: append after recovery: %v", cut, err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		again, w2, err := Recover(path)
+		if err != nil {
+			t.Fatalf("cut %d: second recovery: %v", cut, err)
+		}
+		w2.Close()
+		if len(again) != len(want) || !bytes.Equal(again[len(want)-1], []byte("tail")) {
+			t.Errorf("cut %d: post-truncation journal did not round-trip", cut)
+		}
+	}
+}
+
+func TestRecoverStopsAtCorruptFrame(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.jnl")
+	want := sampleRecords()
+	writeAll(t, path, want)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte of the second record: records 0 survives, the rest
+	// is truncated.
+	off := headerLen + frameHeaderLen + len(want[0]) + frameHeaderLen
+	raw[off] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, w, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if len(got) != 1 || !bytes.Equal(got[0], want[0]) {
+		t.Fatalf("recovered %d records, want exactly the first", len(got))
+	}
+}
+
+func TestRecoverEmptyAndTornHeader(t *testing.T) {
+	for _, size := range []int{0, 3, headerLen - 1} {
+		path := filepath.Join(t.TempDir(), "a.jnl")
+		if err := os.WriteFile(path, []byte(magic)[:size], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, w, err := Recover(path)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if len(got) != 0 {
+			t.Fatalf("size %d: recovered %d records from a headerless file", size, len(got))
+		}
+		if err := w.Append([]byte("first")); err != nil {
+			t.Fatal(err)
+		}
+		w.Close()
+		again, w2, err := Recover(path)
+		if err != nil {
+			t.Fatalf("size %d: reopen: %v", size, err)
+		}
+		w2.Close()
+		if len(again) != 1 || !bytes.Equal(again[0], []byte("first")) {
+			t.Errorf("size %d: rewound journal did not round-trip", size)
+		}
+	}
+}
+
+func TestRecoverRefusesForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "notes.txt")
+	if err := os.WriteFile(path, []byte("definitely not a journal\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Recover(path); err == nil {
+		t.Fatal("Recover accepted a foreign file")
+	}
+}
+
+func TestReaderCleanEOFAndStickyErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.jnl")
+	writeAll(t, path, [][]byte{[]byte("one")})
+	raw, _ := os.ReadFile(path)
+
+	rd, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, err := rd.Next(); err != nil || string(p) != "one" {
+		t.Fatalf("Next = %q, %v", p, err)
+	}
+	if _, err := rd.Next(); err != io.EOF {
+		t.Fatalf("clean end returned %v, want io.EOF", err)
+	}
+	if _, err := rd.Next(); err != io.EOF {
+		t.Fatalf("EOF is not sticky: %v", err)
+	}
+
+	rd2, err := NewReader(bytes.NewReader(raw[:len(raw)-2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rd2.Next()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("torn record returned %v, want ErrCorrupt", err)
+	}
+	if _, err2 := rd2.Next(); !errors.Is(err2, ErrCorrupt) {
+		t.Fatalf("corrupt state is not sticky: %v", err2)
+	}
+}
+
+func TestAppendRejectsOversizedRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.jnl")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(make([]byte, MaxRecord+1)); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+}
+
+func TestSyncBatching(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.jnl")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SyncEvery = 3
+	for i := 0; i < 7; i++ {
+		if err := w.Append([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 6 of 7 records were covered by batch fsyncs; one is outstanding.
+	if w.unsynced != 1 {
+		t.Errorf("unsynced = %d after 7 appends with SyncEvery=3, want 1", w.unsynced)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if w.unsynced != 0 {
+		t.Errorf("unsynced = %d after Sync, want 0", w.unsynced)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, w2, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	if len(got) != 7 {
+		t.Errorf("recovered %d records, want 7", len(got))
+	}
+}

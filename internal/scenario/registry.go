@@ -27,9 +27,41 @@ type Config struct {
 	// KeepGoing makes RunReplicates sweeps return completed replicates plus
 	// a *SweepError instead of discarding the sweep on the first failure.
 	KeepGoing bool
+	// MaxRetries re-runs transiently-failed replicates (see Transient) up to
+	// this many extra times with seeded exponential backoff.
+	MaxRetries int
+	// Budget bounds each sweep's wall-clock time or executed replicate
+	// count; exhaustion truncates the sweep gracefully instead of failing
+	// it. Zero means unlimited.
+	Budget Budget
+	// Journal, when non-empty, is a directory where every RunReplicates
+	// sweep checkpoints one journal file per sweep (named by Sweep name and
+	// per-run sequence), so a killed run can resume. Build journaling
+	// Configs with WithJournal.
+	Journal string
+	// Resume merges completed replicates out of an existing journal instead
+	// of re-running them. Meaningless without Journal.
+	Resume bool
+	// Sweep names the running experiment for journal files and meta
+	// (cmd/tables sets it to the experiment name).
+	Sweep string
 	// Ctx, when non-nil, cancels RunReplicates sweeps early (cmd/tables
 	// wires it to signal handling; nil means context.Background()).
 	Ctx context.Context
+
+	// sweepSeq numbers the journaled sweeps of one experiment run in call
+	// order, which is deterministic, so a resumed run opens the same files.
+	// Shared by pointer across the Config copies an experiment passes down.
+	sweepSeq *uint64
+}
+
+// WithJournal returns a copy of the Config that checkpoints every sweep to a
+// journal file under dir, resuming existing journals when resume is set.
+func (c Config) WithJournal(dir string, resume bool) Config {
+	c.Journal = dir
+	c.Resume = resume
+	c.sweepSeq = new(uint64)
+	return c
 }
 
 // Context resolves Ctx.
@@ -40,9 +72,17 @@ func (c Config) Context() context.Context {
 	return context.Background()
 }
 
-// RunOptions resolves the Config's runner settings.
+// RunOptions resolves the Config's runner settings. Journal wiring happens
+// in RunReplicatesSweep, which owns the per-sweep journal lifecycle.
 func (c Config) RunOptions() Options {
-	return Options{Workers: c.Workers(), Timeout: c.Timeout, KeepGoing: c.KeepGoing}
+	return Options{
+		Workers:    c.Workers(),
+		Timeout:    c.Timeout,
+		KeepGoing:  c.KeepGoing,
+		MaxRetries: c.MaxRetries,
+		Budget:     c.Budget,
+		BaseSeed:   c.Seed,
+	}
 }
 
 // ScaleDur shrinks full-length durations in quick mode.
@@ -96,6 +136,19 @@ type Experiment struct {
 	Desc string
 	// Run regenerates the experiment.
 	Run func(Config) (Result, error)
+	// Reps, when set, estimates how many top-level replicates Run will
+	// execute under the given Config — what listings and budget planning
+	// report. Nil means a single monolithic run.
+	Reps func(Config) int
+}
+
+// EstimatedReps resolves Reps; experiments without a sweep count as one
+// replicate.
+func (e Experiment) EstimatedReps(cfg Config) int {
+	if e.Reps == nil {
+		return 1
+	}
+	return e.Reps(cfg)
 }
 
 // The registry. Registration happens from init functions (a single
