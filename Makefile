@@ -50,10 +50,14 @@ vet:
 	$(GO) vet ./...
 
 # The project's own determinism/correctness analyzers (see internal/lint).
-# Also usable as a vet tool:
-#   go build -o anvillint ./cmd/anvillint && go vet -vettool=./anvillint ./...
+# Run through `go vet -vettool` so the build cache skips unchanged packages
+# and cross-package facts flow through vetx files exactly as in CI. The
+# standalone driver remains available as `go run ./cmd/anvillint ./...`.
+ANVILLINT := bin/anvillint
+
 lint:
-	$(GO) run ./cmd/anvillint ./...
+	$(GO) build -o $(ANVILLINT) ./cmd/anvillint
+	$(GO) vet -vettool=$(abspath $(ANVILLINT)) ./...
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

@@ -6,6 +6,14 @@
 //	maporder  — no order-dependent bodies under map iteration
 //	randshare — no *sim.Rand shared across component constructors
 //	tickconv  — no narrowing conversions of sim.Cycles counters
+//	wallclock — no host-clock reads reachable from deterministic-zone code
+//	seedflow  — every zone sim.Rand seeded from Spec/ReplicateSeed state
+//	errpanic  — no panic/log.Fatal reachable from exported zone APIs
+//	jsondet   — no map/interface fields in JSON marshalled from zone code
+//
+// The last four propagate facts across package boundaries; packages opt in
+// via "//lint:zone deterministic" directives or the built-in zone map for
+// internal/{machine,cache,dram,...} (see internal/lint/zone.go).
 //
 // Standalone use:
 //
@@ -24,22 +32,31 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"repro/internal/lint"
 	"repro/internal/lint/detrand"
+	"repro/internal/lint/errpanic"
+	"repro/internal/lint/jsondet"
 	"repro/internal/lint/maporder"
 	"repro/internal/lint/randshare"
+	"repro/internal/lint/seedflow"
 	"repro/internal/lint/tickconv"
+	"repro/internal/lint/wallclock"
 )
 
 var analyzers = []*lint.Analyzer{
 	detrand.Analyzer,
+	errpanic.Analyzer,
+	jsondet.Analyzer,
 	maporder.Analyzer,
 	randshare.Analyzer,
+	seedflow.Analyzer,
 	tickconv.Analyzer,
+	wallclock.Analyzer,
 }
 
 func main() {
@@ -106,23 +123,7 @@ func main() {
 	}
 
 	if *jsonFlag {
-		type jsonDiag struct {
-			File     string `json:"file"`
-			Line     int    `json:"line"`
-			Column   int    `json:"column"`
-			Analyzer string `json:"analyzer"`
-			Message  string `json:"message"`
-		}
-		out := make([]jsonDiag, 0, len(diags))
-		for _, d := range diags {
-			out = append(out, jsonDiag{
-				File: relPath(d.Pos.Filename), Line: d.Pos.Line, Column: d.Pos.Column,
-				Analyzer: d.Analyzer, Message: d.Message,
-			})
-		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
+		if err := writeJSON(os.Stdout, diags, relPath); err != nil {
 			fmt.Fprintln(os.Stderr, "anvillint:", err)
 			os.Exit(2)
 		}
@@ -136,6 +137,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "anvillint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
 		os.Exit(1)
 	}
+}
+
+// writeJSON renders diagnostics as a machine-readable array — one object
+// per finding with file/line/column/analyzer/message — for CI annotation
+// pipelines. rel maps absolute filenames to display paths; output paths are
+// always slash-separated.
+func writeJSON(w io.Writer, diags []lint.Diagnostic, rel func(string) string) error {
+	type jsonDiag struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Column   int    `json:"column"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File: filepath.ToSlash(rel(d.Pos.Filename)), Line: d.Pos.Line, Column: d.Pos.Column,
+			Analyzer: d.Analyzer, Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 func relPath(p string) string {

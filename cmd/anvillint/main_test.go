@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestJSONOutput runs the full analyzer suite over the fixture module in
+// testdata/mod and compares the -json rendering against a golden file, so
+// the machine-readable format CI depends on cannot drift silently.
+func TestJSONOutput(t *testing.T) {
+	modDir, err := filepath.Abs(filepath.Join("testdata", "mod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := lint.NewLoader(modDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("fixture module produced no findings; the golden test needs a non-empty corpus")
+	}
+
+	rel := func(p string) string {
+		if r, err := filepath.Rel(modDir, p); err == nil {
+			return r
+		}
+		return p
+	}
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, diags, rel); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "diags.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("-json output drifted from %s\n-- got --\n%s\n-- want --\n%s",
+			golden, buf.Bytes(), want)
+	}
+}

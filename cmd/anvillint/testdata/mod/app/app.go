@@ -1,0 +1,25 @@
+//lint:zone deterministic
+package app
+
+import (
+	"encoding/json"
+
+	"fixturemod/clock"
+)
+
+// Result smuggles a map into a JSON schema: a jsondet finding at the field.
+type Result struct {
+	Rows map[int]int `json:"rows"`
+}
+
+// Timestamp reaches the host clock through another package: a wallclock
+// finding fed by the fact exported from package clock.
+func Timestamp() int64 {
+	return clock.Stamp()
+}
+
+// Encode is clean at the call site: Result is already reported at its
+// declaration.
+func Encode(r Result) ([]byte, error) {
+	return json.Marshal(r)
+}

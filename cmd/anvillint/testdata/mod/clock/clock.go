@@ -1,0 +1,11 @@
+// Package clock is outside any determinism zone: the time.Now here is a
+// detrand finding on its own line, and the exported wallclock fact flags the
+// zone caller in package app across the package boundary.
+package clock
+
+import "time"
+
+// Stamp reads the host clock.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

@@ -17,6 +17,12 @@ import (
 	"repro/internal/lint"
 )
 
+// modulePath is the import-path prefix of packages this tool analyzes when
+// driven by go vet. Standard-library and test units get an empty facts file
+// and no analysis, so both drivers (standalone loader, vet units) see the
+// same set of analyzed packages.
+const modulePath = "repro"
+
 // unitConfig is the JSON configuration cmd/go hands a vet tool for each
 // compilation unit (the relevant subset of x/tools' unitchecker.Config).
 type unitConfig struct {
@@ -28,6 +34,7 @@ type unitConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
@@ -61,22 +68,14 @@ func unitCheck(cfgPath string) int {
 		fmt.Fprintln(os.Stderr, "anvillint:", err)
 		return 1
 	}
-	// cmd/go expects a facts file even though these analyzers produce none.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("anvillint\n"), 0o666); err != nil {
-			fmt.Fprintln(os.Stderr, "anvillint:", err)
-			return 1
-		}
-	}
-	if cfg.VetxOnly {
-		return 0
-	}
 	// Test units re-vet the package with its _test.go files; the determinism
 	// invariants deliberately exempt tests, and the plain unit is already
-	// checked, so skip them entirely.
-	if strings.Contains(cfg.ImportPath, " [") || strings.HasSuffix(cfg.ImportPath, ".test") ||
+	// checked. Non-module units (standard library) hold no zone code. Both
+	// still owe cmd/go a facts file.
+	if !strings.HasPrefix(cfg.ImportPath, modulePath) ||
+		strings.Contains(cfg.ImportPath, " [") || strings.HasSuffix(cfg.ImportPath, ".test") ||
 		strings.HasSuffix(cfg.ImportPath, "_test") {
-		return 0
+		return writeVetx(cfg.VetxOutput, []byte("[]\n"))
 	}
 
 	fset := token.NewFileSet()
@@ -122,6 +121,26 @@ func unitCheck(cfgPath string) int {
 		fmt.Fprintln(os.Stderr, "anvillint:", err)
 		return 1
 	}
+
+	// Seed the fact store with the dependencies' vetx files, so
+	// cross-package analyzers see the same facts as the standalone driver.
+	store := lint.NewFactStore()
+	reg := lint.NewFactRegistry(analyzers)
+	for _, dep := range transitiveImports(tpkg) {
+		vetx, ok := cfg.PackageVetx[dep.Path()]
+		if !ok {
+			continue
+		}
+		blob, err := os.ReadFile(vetx)
+		if err != nil {
+			continue // facts are an optimization; a missing file is not fatal
+		}
+		if err := store.DecodePackageFacts(dep, blob, reg); err != nil {
+			fmt.Fprintln(os.Stderr, "anvillint:", err)
+			return 1
+		}
+	}
+
 	pkg := &lint.Package{
 		Path:  cfg.ImportPath,
 		Dir:   cfg.Dir,
@@ -130,10 +149,21 @@ func unitCheck(cfgPath string) int {
 		Types: tpkg,
 		Info:  info,
 	}
-	diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, analyzers)
+	diags, err := lint.RunAnalyzersStore([]*lint.Package{pkg}, analyzers, store)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "anvillint:", err)
 		return 1
+	}
+	facts, err := store.EncodePackageFacts(tpkg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "anvillint:", err)
+		return 1
+	}
+	if code := writeVetx(cfg.VetxOutput, facts); code != 0 {
+		return code
+	}
+	if cfg.VetxOnly {
+		return 0
 	}
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n",
@@ -143,4 +173,36 @@ func unitCheck(cfgPath string) int {
 		return 2
 	}
 	return 0
+}
+
+func writeVetx(path string, data []byte) int {
+	if path == "" {
+		return 0
+	}
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		fmt.Fprintln(os.Stderr, "anvillint:", err)
+		return 1
+	}
+	return 0
+}
+
+// transitiveImports returns pkg's full import closure in a deterministic
+// order; vetx files exist for every unit the build has already vetted,
+// including indirect dependencies.
+func transitiveImports(pkg *types.Package) []*types.Package {
+	var out []*types.Package
+	seen := map[*types.Package]bool{pkg: true}
+	var walk func(p *types.Package)
+	walk = func(p *types.Package) {
+		for _, dep := range p.Imports() {
+			if seen[dep] {
+				continue
+			}
+			seen[dep] = true
+			out = append(out, dep)
+			walk(dep)
+		}
+	}
+	walk(pkg)
+	return out
 }

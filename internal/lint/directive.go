@@ -21,7 +21,32 @@ type directiveSet struct {
 	byLine map[string]map[int][]*Directive
 }
 
-const directivePrefix = "//lint:allow"
+const (
+	directivePrefix = "//lint:allow"
+	zonePrefix      = "//lint:zone"
+)
+
+// parseZoneDirective decodes a //lint:zone comment, returning the declared
+// zone name and whether the comment is a zone directive at all. Trailing
+// "//"-introduced comments are ignored; a bare directive or one with extra
+// scope words yields an empty (invalid) name so the caller reports it.
+func parseZoneDirective(text string) (name string, ok bool) {
+	if !strings.HasPrefix(text, zonePrefix) {
+		return "", false
+	}
+	rest := strings.TrimPrefix(text, zonePrefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false // e.g. //lint:zoned
+	}
+	if i := strings.Index(rest, "//"); i >= 0 {
+		rest = rest[:i]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 1 {
+		return "", true // malformed scope: directive recognised, name invalid
+	}
+	return fields[0], true
+}
 
 // parseDirective decodes a single comment, returning nil if it is not an
 // allow directive.

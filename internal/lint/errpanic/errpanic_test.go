@@ -1,0 +1,12 @@
+package errpanic_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/errpanic"
+	"repro/internal/lint/linttest"
+)
+
+func TestErrpanic(t *testing.T) {
+	linttest.Run(t, "testdata", errpanic.Analyzer, "a")
+}

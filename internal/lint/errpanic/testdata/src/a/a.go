@@ -1,0 +1,78 @@
+//lint:zone deterministic
+package a
+
+import (
+	"log"
+	"os"
+
+	"musthelp"
+)
+
+// Configure is an exported zone API with a direct panic.
+func Configure(n int) {
+	if n < 0 {
+		panic("negative") // want `panic is reachable from exported deterministic-zone API Configure; return an error instead`
+	}
+}
+
+// Build reaches a panic through a zone-internal helper; the helper is the
+// root, so the finding lands on its panic site, named after this API.
+func Build(n int) {
+	validate(n)
+}
+
+func validate(n int) {
+	if n == 0 {
+		panic("zero") // want `panic is reachable from exported deterministic-zone API Build`
+	}
+}
+
+// New wraps another package's Must helper; the imported fact flags the edge.
+func New(kind string) string {
+	return musthelp.MustKind(kind) // want `call to musthelp\.MustKind may panic \(musthelp\.go:\d+\); exported deterministic-zone API New must return errors, not panic`
+}
+
+// NewWrapped reaches the same panic two packages of frames down.
+func NewWrapped(kind string) string {
+	return musthelp.Wrap(kind) // want `call to musthelp\.Wrap may panic \(musthelp\.go:\d+\) via MustKind`
+}
+
+// Run log.Fatal is just as fatal as panic for a sweep worker.
+func Run() {
+	log.Fatalf("boom") // want `log\.Fatalf is reachable from exported deterministic-zone API Run`
+}
+
+// MustFreq panics by documented contract; the annotation asserts containment
+// and absorbs the taint, so UsesMust stays clean.
+func MustFreq(hz int) int {
+	if hz <= 0 {
+		panic("freq: non-positive rate") //lint:allow errpanic documented Must contract, programmer error only
+	}
+	return hz
+}
+
+// UsesMust sees no taint: the allowed panic was absorbed at its site.
+func UsesMust() int {
+	return MustFreq(100)
+}
+
+//lint:zone host
+func hostExit(code int) {
+	os.Exit(code) // no finding: this function opted out of the zone
+}
+
+// Shutdown calls an opted-out local function; the edge is the finding.
+func Shutdown() {
+	hostExit(1) // want `call to hostExit may os\.Exit \(a\.go:\d+\); exported deterministic-zone API Shutdown must return errors, not panic`
+}
+
+// Ok returns errors the boring way and calls only clean helpers.
+func Ok(kind string) (string, bool) {
+	return musthelp.Clean(kind)
+}
+
+// unreachableHelper panics, but no exported zone API reaches it: the fact is
+// still exported for importers, yet nothing reports here.
+func unreachableHelper() {
+	panic("dead code")
+}

@@ -1,0 +1,25 @@
+// Package musthelp is a host-side fixture of Must-style constructors whose
+// panics are deliberately unannotated: the facts this package exports flag
+// the deterministic-zone callers in package a at their call sites.
+package musthelp
+
+// MustKind panics on unknown kinds.
+func MustKind(kind string) string {
+	if kind == "" {
+		panic("unknown kind")
+	}
+	return kind
+}
+
+// Wrap reaches the panic one frame down; its fact records the chain.
+func Wrap(kind string) string {
+	return MustKind(kind)
+}
+
+// Clean returns an error like a well-behaved constructor; it gets no fact.
+func Clean(kind string) (string, bool) {
+	if kind == "" {
+		return "", false
+	}
+	return kind, true
+}

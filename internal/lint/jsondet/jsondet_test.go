@@ -1,0 +1,12 @@
+package jsondet_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/jsondet"
+	"repro/internal/lint/linttest"
+)
+
+func TestJsondet(t *testing.T) {
+	linttest.Run(t, "testdata", jsondet.Analyzer, "a")
+}

@@ -1,0 +1,77 @@
+//lint:zone deterministic
+package a
+
+import (
+	"encoding/json"
+	"io"
+
+	"histutil"
+)
+
+// Results mirrors a scenario result schema with a map smuggled in.
+type Results struct {
+	Flips  int            `json:"flips"`
+	PerRow map[uint64]int `json:"per_row"` // want `JSON-marshalled type Results depends on unordered data: Results\.PerRow is map\[uint64\]int`
+}
+
+// Inner carries the map two levels down; it has no json tags, so it is not
+// a root itself — only a fact exporter.
+type Inner struct {
+	Counts map[string]int
+}
+
+// Nested pulls the unordered data in through a slice of structs; the
+// finding anchors on the importing field and names the full path.
+type Nested struct {
+	Name string  `json:"name"`
+	Rows []Inner `json:"rows"` // want `JSON-marshalled type Nested depends on unordered data: Nested\.Rows\[\]\.Counts is map\[string\]int \(a\.go:\d+\)`
+}
+
+// Report embeds another package's map-backed type; the imported fact names
+// the offending field across the package boundary.
+type Report struct {
+	Hist histutil.Histogram `json:"hist"` // want `JSON-marshalled type Report depends on unordered data: Report\.Hist\.Buckets is map\[int\]uint64 \(histutil\.go:\d+\)`
+}
+
+// Payload hides the order dependence behind an interface.
+type Payload struct {
+	Name  string      `json:"name"`
+	Extra interface{} `json:"extra"` // want `JSON-marshalled type Payload depends on unordered data: Payload\.Extra is (any|interface\{\})`
+}
+
+// Sorted is clean: the helper's MarshalJSON vouches for its byte stream.
+type Sorted struct {
+	Hist histutil.SortedHist `json:"hist"`
+}
+
+// WithRaw is clean: json.RawMessage implements MarshalJSON.
+type WithRaw struct {
+	Blob json.RawMessage `json:"blob"`
+}
+
+// Skipped is clean: the map is excluded from encoding entirely.
+type Skipped struct {
+	Flips int            `json:"flips"`
+	Cache map[uint64]int `json:"-"`
+}
+
+// Annotated asserts out of band that its ordering cannot matter.
+type Annotated struct {
+	Tags map[string]string `json:"tags"` //lint:allow jsondet single well-known key, ordering is vacuous
+}
+
+func encodeMap(m map[string]int) ([]byte, error) {
+	return json.Marshal(m) // want `json\.Marshal of map\[string\]int depends on unordered data: the payload is map\[string\]int`
+}
+
+func stream(w io.Writer, m map[string]int) error {
+	return json.NewEncoder(w).Encode(m) // want `Encoder\.Encode of map\[string\]int depends on unordered data`
+}
+
+func emit(r Results) ([]byte, error) {
+	return json.Marshal(r) // no finding here: Results already reported at its declaration
+}
+
+func emitClean(s Sorted) ([]byte, error) {
+	return json.MarshalIndent(s, "", "\t") // clean
+}

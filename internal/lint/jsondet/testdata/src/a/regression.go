@@ -1,0 +1,11 @@
+package a
+
+// EvictionStats is the seeded regression for the PR-1 map-order bug class:
+// the eviction-pattern histogram was keyed by set index and ranged straight
+// into the encoded report, so two identical runs could serialize different
+// byte streams and break replicate comparison. jsondet now catches the
+// schema itself, before any range loop runs.
+type EvictionStats struct {
+	Accesses  uint64            `json:"accesses"`
+	Evictions map[uint64]uint64 `json:"evictions"` // want `JSON-marshalled type EvictionStats depends on unordered data: EvictionStats\.Evictions is map\[uint64\]uint64`
+}

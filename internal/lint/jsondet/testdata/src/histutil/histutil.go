@@ -1,0 +1,41 @@
+// Package histutil is a helper fixture outside any zone: nothing reports
+// here, but its map-backed Histogram exports a fact that flags
+// deterministic-zone types embedding it.
+package histutil
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Histogram is map-backed with no ordering guarantee; its fact carries the
+// ".Buckets" path to zone embedders.
+type Histogram struct {
+	Buckets map[int]uint64 `json:"buckets"`
+}
+
+// SortedHist marshals its buckets in key order: MarshalJSON vouches for the
+// byte stream, so embedders stay clean.
+type SortedHist struct {
+	Buckets map[int]uint64
+}
+
+// MarshalJSON encodes the buckets sorted by key.
+func (s SortedHist) MarshalJSON() ([]byte, error) {
+	keys := make([]int, 0, len(s.Buckets))
+	for k := range s.Buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `{"key":%d,"count":%d}`, k, s.Buckets[k])
+	}
+	b.WriteByte(']')
+	return []byte(b.String()), nil
+}

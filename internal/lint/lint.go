@@ -42,6 +42,11 @@ type Analyzer struct {
 	// itself a diagnostic: suppressions must carry a justification.
 	RequireReason bool
 
+	// Facts lists prototype values (nil pointers suffice) of every fact
+	// type the analyzer exports, so the vet driver can serialize them
+	// across compilation units.
+	Facts []Fact
+
 	// Run performs the analysis on one package and reports findings
 	// through the pass.
 	Run func(*Pass) error
@@ -56,6 +61,9 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	zones *zoneInfo
+	dirs  *directiveSet
+	store *FactStore
 	diags *[]Diagnostic
 }
 
@@ -94,15 +102,61 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 	return p.Info.Uses[id]
 }
 
+// PackageZone returns the zone the analyzed package is in: its explicit
+// //lint:zone directive if present, else the DefaultZones entry for its
+// import path, else ZoneNone.
+func (p *Pass) PackageZone() Zone { return p.zones.pkg }
+
+// FuncZone returns fn's effective zone: a //lint:zone directive in its doc
+// comment overrides the package zone.
+func (p *Pass) FuncZone(fn *ast.FuncDecl) Zone { return p.zones.funcZone(fn) }
+
+// Allowed reports whether a "//lint:allow <analyzer>" directive covers pos
+// for the running analyzer. Fact-propagating analyzers consult it at taint
+// sources: an allowed source is absorbed — neither reported nor propagated
+// to callers — because the directive asserts the host-side effect is
+// contained there. A bare directive does not count for RequireReason
+// analyzers, so the missing-justification diagnostic still surfaces.
+func (p *Pass) Allowed(pos token.Pos) bool {
+	d := p.dirs.match(p.Fset.Position(pos), p.Analyzer.Name)
+	if d == nil {
+		return false
+	}
+	return d.Reason != "" || !p.Analyzer.RequireReason
+}
+
+// ExportObjectFact attaches a fact of the running analyzer to obj, making it
+// visible to later passes over packages that import this one.
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	p.store.export(p.Analyzer.Name, obj, f)
+}
+
+// ImportObjectFact copies the running analyzer's fact of dst's type for obj
+// into dst, reporting whether one exists.
+func (p *Pass) ImportObjectFact(obj types.Object, dst Fact) bool {
+	return p.store.imported(p.Analyzer.Name, obj, dst)
+}
+
 // RunAnalyzers applies every analyzer to every package and returns the
-// surviving diagnostics sorted by position. Directive suppression happens
+// surviving diagnostics sorted by position. Packages are visited in
+// dependency order with one shared fact store, so facts a package exports
+// are visible when its importers are analyzed. Directive suppression happens
 // here: each package's files are scanned once for //lint:allow comments and
 // matching diagnostics are dropped (or, for RequireReason analyzers with a
 // bare directive, replaced with a complaint about the missing justification).
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunAnalyzersStore(pkgs, analyzers, NewFactStore())
+}
+
+// RunAnalyzersStore is RunAnalyzers against a caller-owned fact store — the
+// entry point for the vet unit driver, which pre-populates the store with
+// the serialized facts of the unit's dependencies.
+func RunAnalyzersStore(pkgs []*Package, analyzers []*Analyzer, store *FactStore) ([]Diagnostic, error) {
 	var out []Diagnostic
-	for _, pkg := range pkgs {
+	for _, pkg := range sortDeps(pkgs) {
 		dirs := collectDirectives(pkg.Fset, pkg.Files)
+		zones, zdiags := collectZones(pkg.Fset, pkg.Files, pkg.Path)
+		out = append(out, zdiags...)
 		var raw []Diagnostic
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -111,6 +165,9 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				zones:    zones,
+				dirs:     dirs,
+				store:    store,
 				diags:    &raw,
 			}
 			if err := a.Run(pass); err != nil {
@@ -152,4 +209,34 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 		return a.Message < b.Message
 	})
 	return out, nil
+}
+
+// sortDeps orders packages so every package follows the packages it imports
+// (restricted to the given set), keeping the input order among independent
+// packages. Fact propagation depends on this: an importer must be analyzed
+// after its dependencies have exported their facts.
+func sortDeps(pkgs []*Package) []*Package {
+	byTypes := make(map[*types.Package]*Package, len(pkgs))
+	for _, pkg := range pkgs {
+		byTypes[pkg.Types] = pkg
+	}
+	out := make([]*Package, 0, len(pkgs))
+	visited := make(map[*Package]bool, len(pkgs))
+	var visit func(*Package)
+	visit = func(pkg *Package) {
+		if visited[pkg] {
+			return
+		}
+		visited[pkg] = true
+		for _, imp := range pkg.Types.Imports() {
+			if dep, ok := byTypes[imp]; ok {
+				visit(dep)
+			}
+		}
+		out = append(out, pkg)
+	}
+	for _, pkg := range pkgs {
+		visit(pkg)
+	}
+	return out
 }

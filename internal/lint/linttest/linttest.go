@@ -32,8 +32,13 @@ import (
 	"repro/internal/lint"
 )
 
-// Run loads each fixture package under testdata/src and checks the
-// analyzer's diagnostics against the // want comments in its files.
+// Run loads each fixture package under testdata/src — plus, transitively,
+// every fixture package they import — and checks the analyzer's diagnostics
+// against the // want comments across all loaded files. All loaded packages
+// are analyzed in one dependency-ordered session sharing a fact store, so
+// fixtures can demonstrate cross-package fact propagation: a helper package
+// exports facts, and a dependent package's wants assert the findings those
+// facts produce.
 func Run(t *testing.T, testdata string, a *lint.Analyzer, pkgNames ...string) {
 	t.Helper()
 	l := &fixtureLoader{
@@ -43,23 +48,27 @@ func Run(t *testing.T, testdata string, a *lint.Analyzer, pkgNames ...string) {
 		pkgs: make(map[string]*lint.Package),
 	}
 	for _, name := range pkgNames {
-		pkg, err := l.load(name)
-		if err != nil {
+		if _, err := l.load(name); err != nil {
 			t.Fatalf("loading fixture %s: %v", name, err)
 		}
-		diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{a})
-		if err != nil {
-			t.Fatalf("running %s on %s: %v", a.Name, name, err)
-		}
-		checkWants(t, l.fset, pkg, diags)
 	}
+	diags, err := lint.RunAnalyzers(l.order, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %v: %v", a.Name, pkgNames, err)
+	}
+	var files []*ast.File
+	for _, pkg := range l.order {
+		files = append(files, pkg.Files...)
+	}
+	checkWants(t, l.fset, files, diags)
 }
 
 type fixtureLoader struct {
-	src  string
-	fset *token.FileSet
-	std  types.Importer
-	pkgs map[string]*lint.Package
+	src   string
+	fset  *token.FileSet
+	std   types.Importer
+	pkgs  map[string]*lint.Package
+	order []*lint.Package // load-completion (dependency) order
 }
 
 func (l *fixtureLoader) load(name string) (*lint.Package, error) {
@@ -105,6 +114,7 @@ func (l *fixtureLoader) load(name string) (*lint.Package, error) {
 		Info:  info,
 	}
 	l.pkgs[name] = pkg
+	l.order = append(l.order, pkg)
 	return pkg, nil
 }
 
@@ -187,9 +197,9 @@ func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
 	return wants
 }
 
-func checkWants(t *testing.T, fset *token.FileSet, pkg *lint.Package, diags []lint.Diagnostic) {
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []lint.Diagnostic) {
 	t.Helper()
-	wants := parseWants(t, fset, pkg.Files)
+	wants := parseWants(t, fset, files)
 	for _, d := range diags {
 		matched := false
 		for _, w := range wants {

@@ -1,0 +1,25 @@
+// Package sim is a stub of repro/internal/sim for lint fixtures.
+package sim
+
+// Rand mirrors sim.Rand.
+type Rand struct{ s uint64 }
+
+// NewRand mirrors sim.NewRand.
+func NewRand(seed uint64) *Rand { return &Rand{s: seed} }
+
+// Seed mirrors sim.Rand.Seed.
+func (r *Rand) Seed(seed uint64) { r.s = seed }
+
+// Uint64 advances the stream.
+func (r *Rand) Uint64() uint64 { r.s = r.s*6364136223846793005 + 1; return r.s }
+
+// Intn mirrors sim.Rand.Intn.
+func (r *Rand) Intn(n int) int { return int(r.Uint64() % uint64(n)) }
+
+// Split mirrors sim.Rand.Split.
+func (r *Rand) Split() *Rand { return NewRand(r.Uint64()) }
+
+// ReplicateSeed mirrors scenario.ReplicateSeed: a pure seed derivation.
+func ReplicateSeed(base uint64, rep int) uint64 {
+	return base*0x9e3779b97f4a7c15 + uint64(rep)
+}

@@ -1,0 +1,30 @@
+// Package timeutil is a host-side helper fixture: it is outside any
+// determinism zone, so nothing here is reported — but the analyzer exports
+// facts recording which of these functions reach the wall clock, and the
+// zone package importing it demonstrates the cross-package findings.
+package timeutil
+
+import "time"
+
+// Stamp reads the host clock directly.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Elapsed reaches the clock one frame down; the fact records the chain.
+func Elapsed() int64 {
+	return Stamp()
+}
+
+// Pure is clock-free time arithmetic; it gets no fact.
+func Pure(d time.Duration) time.Duration {
+	return 2 * d
+}
+
+// Clock is a tiny host clock abstraction.
+type Clock struct{}
+
+// Read is a tainted method: method facts propagate too.
+func (Clock) Read() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,12 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	linttest.Run(t, "testdata", wallclock.Analyzer, "a")
+}

@@ -164,9 +164,10 @@ var (
 // invalid registration: both are programming errors in an init function.
 func Register(e Experiment) {
 	if e.Name == "" || e.Run == nil {
-		panic("scenario: Register needs a name and a Run function")
+		panic("scenario: Register needs a name and a Run function") //lint:allow errpanic init-time registration; failing fast at startup is the contract
 	}
 	if _, dup := registryIndex[e.Name]; dup {
+		//lint:allow errpanic init-time registration; failing fast at startup is the contract
 		panic(fmt.Sprintf("scenario: experiment %q registered twice", e.Name))
 	}
 	registryIndex[e.Name] = len(registry)

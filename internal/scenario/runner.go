@@ -322,6 +322,7 @@ func RunSweep[T any](ctx context.Context, n int, opts Options, fn func(ctx conte
 		return out, status, nil
 	}
 
+	//lint:allow wallclock wall-clock sweep budget; scheduling only, never read by simulated code
 	start := time.Now() //lint:allow detrand wall-clock sweep budget; scheduling only, never read by simulated code
 	ran := 0            // replicates dispatched this run (owned by the scheduling goroutine)
 	exhausted := func() (string, bool) {
@@ -329,8 +330,8 @@ func RunSweep[T any](ctx context.Context, n int, opts Options, fn func(ctx conte
 		if b.Replicates > 0 && ran >= b.Replicates {
 			return fmt.Sprintf("replicate budget %d exhausted", b.Replicates), true
 		}
-		//lint:allow detrand wall-clock sweep budget; scheduling only, never read by simulated code
-		if b.WallClock > 0 && time.Since(start) >= b.WallClock {
+		//lint:allow wallclock wall-clock sweep budget; scheduling only, never read by simulated code
+		if b.WallClock > 0 && time.Since(start) >= b.WallClock { //lint:allow detrand wall-clock sweep budget; scheduling only, never read by simulated code
 			return fmt.Sprintf("wall-clock budget %v exhausted", b.WallClock), true
 		}
 		return "", false
@@ -517,6 +518,7 @@ func sleepBackoff(ctx context.Context, d time.Duration) bool {
 	if d <= 0 {
 		return ctx.Err() == nil
 	}
+	//lint:allow wallclock retry backoff is host wall-clock by design; never folded into simulated ticks
 	t := time.NewTimer(d) //lint:allow detrand retry backoff is host wall-clock by design; never folded into simulated ticks
 	defer t.Stop()
 	select {

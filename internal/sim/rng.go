@@ -57,7 +57,7 @@ func (r *Rand) Uint64() uint64 {
 // Uint64n returns a uniform value in [0, n). It panics if n is 0.
 func (r *Rand) Uint64n(n uint64) uint64 {
 	if n == 0 {
-		panic("sim: Uint64n with n == 0")
+		panic("sim: Uint64n with n == 0") //lint:allow errpanic documented contract; n==0 is a programmer error, not a recoverable simulation state
 	}
 	// Lemire-style rejection-free bias for our purposes is acceptable only
 	// for small n; use simple rejection to stay exactly uniform.
@@ -77,7 +77,7 @@ func (r *Rand) Uint64n(n uint64) uint64 {
 // Intn returns a uniform value in [0, n). It panics if n <= 0.
 func (r *Rand) Intn(n int) int {
 	if n <= 0 {
-		panic("sim: Intn with n <= 0")
+		panic("sim: Intn with n <= 0") //lint:allow errpanic documented contract; n<=0 is a programmer error, not a recoverable simulation state
 	}
 	return int(r.Uint64n(uint64(n)))
 }

@@ -110,6 +110,7 @@ type Histogram struct {
 // NewHistogram creates a histogram with n buckets spanning [lo, hi).
 func NewHistogram(lo, hi float64, n int) *Histogram {
 	if n <= 0 || hi <= lo {
+		//lint:allow errpanic impossible-shape guard; histogram bounds are compile-time constants at every call site
 		panic(fmt.Sprintf("sim: invalid histogram [%g,%g) x%d", lo, hi, n))
 	}
 	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]uint64, n)}

@@ -30,7 +30,7 @@ type Freq struct {
 // It panics if hz is zero, since a zero-frequency clock cannot advance.
 func NewFreq(hz uint64) Freq {
 	if hz == 0 {
-		panic("sim: zero clock frequency")
+		panic("sim: zero clock frequency") //lint:allow errpanic impossible-state guard; a zero-frequency clock cannot advance and is a programmer error
 	}
 	return Freq{hz: hz}
 }
