@@ -63,17 +63,27 @@ fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# Full hot-path benchmark run (5 repetitions, median-reduced) and the
-# BENCH_PR3.json before/after report against the committed pre-refactor
-# baseline in bench/baseline_pr3.txt.
+# Full benchmark run: the component hot paths (5 repetitions, median-
+# reduced) plus the end-to-end replicates/second sweep, reported two ways —
+# BENCH_PR3.json against the PR-3 pre-refactor baseline (recorded on a
+# different host; see bench/NOTES.md) and BENCH_PR7.json against the
+# same-machine pre-batching baseline in bench/baseline_pr7.txt, which also
+# carries the throughput metric.
 bench:
-	$(GO) test -run '^$$' -bench BenchmarkHotPath -benchmem -count 5 $(BENCH_PKGS) | tee bench/current_pr3.txt
-	$(GO) run ./cmd/benchreport -baseline bench/baseline_pr3.txt -current bench/current_pr3.txt -out BENCH_PR3.json
+	$(GO) test -run '^$$' -bench BenchmarkHotPath -benchmem -count 5 $(BENCH_PKGS) | tee bench/current_pr7.txt
+	$(GO) test -run '^$$' -bench BenchmarkEndToEnd -count 3 ./internal/experiments | tee -a bench/current_pr7.txt
+	$(GO) run ./cmd/benchreport -baseline bench/baseline_pr3.txt -current bench/current_pr7.txt -out BENCH_PR3.json
+	$(GO) run ./cmd/benchreport -baseline bench/baseline_pr7.txt -current bench/current_pr7.txt -out BENCH_PR7.json
 
 # CI-sized benchmark smoke: a handful of iterations proves the benchmarks
 # compile and run (and -benchmem keeps alloc regressions visible) without
-# spending CI minutes on stable timings.
+# spending CI minutes on stable timings. The end-to-end sweep then runs once
+# and benchreport's guardrail fails the target if quick replicates/second
+# drops below 80% of the committed same-machine baseline.
 bench-smoke:
 	$(GO) test -run '^$$' -bench BenchmarkHotPath -benchtime 100x -benchmem $(BENCH_PKGS)
+	$(GO) test -run '^$$' -bench BenchmarkEndToEnd ./internal/experiments | tee bench-smoke-e2e.txt
+	$(GO) run ./cmd/benchreport -baseline bench/baseline_pr7.txt -current bench-smoke-e2e.txt \
+		-min-ratio replicates/s=0.8 -out /dev/null
 
 check: fmt build vet lint test race

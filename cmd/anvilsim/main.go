@@ -36,6 +36,7 @@ func main() {
 		duration   = flag.Duration("duration", 192*time.Millisecond, "simulated run time")
 		weakUnits  = flag.Float64("weak", scenario.DefaultWeakUnits, "disturbance threshold planted at the attack's victim row")
 		seed       = flag.Uint64("seed", 0, "root seed for machine-level randomness (0 = calibrated defaults)")
+		stepBatch  = flag.Int("step-batch", 0, "machine batch cap: 1 forces per-op stepping (A/B escape hatch), 0 = default")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -47,7 +48,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	runErr := run(*attackKind, *workloads, *defName, *duration, *weakUnits, *seed)
+	runErr := run(*attackKind, *workloads, *defName, *duration, *weakUnits, *seed, *stepBatch)
 	if err := stopProfiles(); err != nil {
 		log.Print(err)
 	}
@@ -57,11 +58,12 @@ func main() {
 	}
 }
 
-func run(attackKind, workloads, defName string, duration time.Duration, weakUnits float64, seed uint64) error {
+func run(attackKind, workloads, defName string, duration time.Duration, weakUnits float64, seed uint64, stepBatch int) error {
 	spec := scenario.Spec{
-		Seed:     seed,
-		Duration: duration,
-		Defense:  scenario.DefenseKind(defName),
+		Seed:      seed,
+		Duration:  duration,
+		Defense:   scenario.DefenseKind(defName),
+		StepBatch: stepBatch,
 	}
 	if attackKind != "" {
 		spec.Attack = &scenario.Attack{

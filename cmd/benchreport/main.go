@@ -1,17 +1,25 @@
 // Command benchreport compares two `go test -bench` output files — a
 // committed baseline and a fresh run — and writes a JSON report of per-
 // benchmark before/after numbers and speedups. `make bench` uses it to
-// produce BENCH_PR3.json, the artifact that tracks the per-access-pipeline
-// performance work against the pre-refactor baseline in
-// bench/baseline_pr3.txt.
+// produce BENCH_PR3.json and BENCH_PR7.json, the artifacts that track the
+// per-access-pipeline performance work against the committed baselines in
+// bench/.
 //
 // Multiple measurements of the same benchmark (go test -count N) are
 // reduced to their median, which keeps single outlier runs from skewing
 // the report.
 //
+// Beyond the standard ns/op, B/op and allocs/op columns, every custom
+// `testing.B.ReportMetric` unit (e.g. the end-to-end `replicates/s` of
+// BenchmarkEndToEnd) is parsed, median-reduced and compared. The -min-ratio
+// flag turns a rate metric into a CI guardrail: `-min-ratio replicates/s=0.8`
+// fails the run (exit 1) if any benchmark's current value drops below 80%
+// of its baseline.
+//
 // Usage:
 //
-//	benchreport -baseline bench/baseline_pr3.txt -current bench/current_pr3.txt -out BENCH_PR3.json
+//	benchreport -baseline bench/baseline_pr7.txt -current bench/current_pr7.txt -out BENCH_PR7.json
+//	benchreport -baseline bench/baseline_pr7.txt -current smoke.txt -min-ratio replicates/s=0.8
 package main
 
 import (
@@ -21,7 +29,6 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -33,6 +40,9 @@ type measurement struct {
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	Runs        int     `json:"runs"`
+	// Metrics holds custom ReportMetric units (replicates/s, ...), median-
+	// reduced like the standard columns.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // entry pairs a benchmark's baseline and current measurements.
@@ -44,6 +54,10 @@ type entry struct {
 	// Speedup is baseline ns/op divided by current ns/op (ops/sec ratio);
 	// >1 means the current tree is faster. Zero when either side is missing.
 	Speedup float64 `json:"speedup,omitempty"`
+	// MetricRatios maps each custom unit present on both sides to
+	// current/baseline — for rate metrics like replicates/s, >1 means the
+	// current tree is faster.
+	MetricRatios map[string]float64 `json:"metric_ratios,omitempty"`
 }
 
 // report is the emitted JSON document.
@@ -53,14 +67,41 @@ type report struct {
 	Entries      []entry `json:"benchmarks"`
 }
 
+// minRatios collects -min-ratio unit=r guardrails.
+type minRatios map[string]float64
+
+func (m minRatios) String() string {
+	parts := make([]string, 0, len(m))
+	for _, k := range sortedKeys(m) {
+		parts = append(parts, fmt.Sprintf("%s=%g", k, m[k]))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (m minRatios) Set(s string) error {
+	unit, val, ok := strings.Cut(s, "=")
+	if !ok || unit == "" {
+		return fmt.Errorf("want unit=ratio, got %q", s)
+	}
+	r, err := strconv.ParseFloat(val, 64)
+	if err != nil || r <= 0 {
+		return fmt.Errorf("bad ratio in %q", s)
+	}
+	m[unit] = r
+	return nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchreport: ")
+	guards := minRatios{}
 	var (
 		baseline = flag.String("baseline", "", "baseline `go test -bench` output file")
 		current  = flag.String("current", "", "current `go test -bench` output file")
 		out      = flag.String("out", "", "write the JSON report here (default stdout)")
 	)
+	flag.Var(guards, "min-ratio",
+		"guardrail `unit=ratio`: fail if any benchmark's current/baseline for that metric drops below ratio (repeatable)")
 	flag.Parse()
 	if *baseline == "" || *current == "" {
 		log.Fatal("both -baseline and -current are required")
@@ -76,6 +117,7 @@ func main() {
 	}
 
 	rep := report{BaselineFile: *baseline, CurrentFile: *current}
+	var violations []string
 	for _, key := range unionKeys(before, after) {
 		pkg, name, _ := strings.Cut(key, " ")
 		e := entry{Pkg: pkg, Name: name}
@@ -85,8 +127,27 @@ func main() {
 		if m, ok := after[key]; ok {
 			e.Current = m
 		}
-		if e.Baseline != nil && e.Current != nil && e.Current.NsPerOp > 0 {
-			e.Speedup = round2(e.Baseline.NsPerOp / e.Current.NsPerOp)
+		if e.Baseline != nil && e.Current != nil {
+			if e.Current.NsPerOp > 0 {
+				e.Speedup = round2(e.Baseline.NsPerOp / e.Current.NsPerOp)
+			}
+			for _, unit := range sortedKeys(e.Baseline.Metrics) {
+				b := e.Baseline.Metrics[unit]
+				c, ok := e.Current.Metrics[unit]
+				if !ok || b == 0 {
+					continue
+				}
+				if e.MetricRatios == nil {
+					e.MetricRatios = map[string]float64{}
+				}
+				ratio := c / b
+				e.MetricRatios[unit] = round2(ratio)
+				if min, guarded := guards[unit]; guarded && ratio < min {
+					violations = append(violations, fmt.Sprintf(
+						"%s %s: %s %.3g -> %.3g (ratio %.2f < %.2f)",
+						pkg, name, unit, b, c, ratio, min))
+				}
+			}
 		}
 		rep.Entries = append(rep.Entries, e)
 	}
@@ -98,21 +159,41 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
-		return
-	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		log.Fatal(err)
+	}
+
+	if len(violations) > 0 {
+		for _, v := range violations {
+			log.Printf("guardrail violated: %s", v)
+		}
+		os.Exit(1)
+	}
+	for unit := range guards {
+		if !guardCovered(rep.Entries, unit) {
+			log.Fatalf("guardrail %s=%g matched no benchmark present in both files", unit, guards[unit])
+		}
 	}
 }
 
-// benchLine matches one benchmark result line. The trailing -N GOMAXPROCS
-// suffix (absent when GOMAXPROCS=1) is stripped from the name; B/op and
-// allocs/op appear only under -benchmem.
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S*?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+([0-9.]+) allocs/op)?`)
+// guardCovered reports whether any entry compared the given unit, so a
+// guardrail that silently matches nothing fails loudly instead.
+func guardCovered(entries []entry, unit string) bool {
+	for _, e := range entries {
+		if _, ok := e.MetricRatios[unit]; ok {
+			return true
+		}
+	}
+	return false
+}
 
 // parseFile reads `go test -bench` output and reduces repeated runs of each
-// benchmark to medians, keyed by "pkg name".
+// benchmark to medians, keyed by "pkg name". Result lines are
+//
+//	BenchmarkName-8   123456   78.9 ns/op   0 B/op   0 allocs/op   3.2 replicates/s
+//
+// an iteration count followed by value/unit pairs; the -N GOMAXPROCS suffix
+// (absent under GOMAXPROCS=1) is stripped from the name.
 func parseFile(path string) (map[string]*measurement, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -120,8 +201,7 @@ func parseFile(path string) (map[string]*measurement, error) {
 	}
 	defer f.Close()
 
-	type series struct{ ns, bytes, allocs []float64 }
-	raw := map[string]*series{}
+	raw := map[string]map[string][]float64{} // key -> unit -> samples
 	pkg := ""
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
@@ -130,19 +210,33 @@ func parseFile(path string) (map[string]*measurement, error) {
 			pkg = strings.TrimSpace(p)
 			continue
 		}
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		key := pkg + " " + m[1]
-		s := raw[key]
-		if s == nil {
-			s = &series{}
-			raw[key] = s
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // not a result line (e.g. "BenchmarkFoo" alone, or prose)
 		}
-		s.ns = append(s.ns, atof(m[2]))
-		s.bytes = append(s.bytes, atof(m[3]))
-		s.allocs = append(s.allocs, atof(m[4]))
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		key := pkg + " " + name
+		units := raw[key]
+		if units == nil {
+			units = map[string][]float64{}
+			raw[key] = units
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			unit := fields[i+1]
+			units[unit] = append(units[unit], v)
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -153,13 +247,24 @@ func parseFile(path string) (map[string]*measurement, error) {
 
 	out := make(map[string]*measurement, len(raw))
 	for _, key := range sortedKeys(raw) {
-		s := raw[key]
-		out[key] = &measurement{
-			NsPerOp:     median(s.ns),
-			BytesPerOp:  median(s.bytes),
-			AllocsPerOp: median(s.allocs),
-			Runs:        len(s.ns),
+		units := raw[key]
+		m := &measurement{
+			NsPerOp:     median(units["ns/op"]),
+			BytesPerOp:  median(units["B/op"]),
+			AllocsPerOp: median(units["allocs/op"]),
+			Runs:        len(units["ns/op"]),
 		}
+		for _, unit := range sortedKeys(units) {
+			switch unit {
+			case "ns/op", "B/op", "allocs/op":
+				continue
+			}
+			if m.Metrics == nil {
+				m.Metrics = map[string]float64{}
+			}
+			m.Metrics[unit] = median(units[unit])
+		}
+		out[key] = m
 	}
 	return out, nil
 }
@@ -171,17 +276,6 @@ func sortedKeys[V any](m map[string]V) []string {
 	}
 	sort.Strings(keys)
 	return keys
-}
-
-func atof(s string) float64 {
-	if s == "" {
-		return 0
-	}
-	v, err := strconv.ParseFloat(s, 64)
-	if err != nil {
-		return 0
-	}
-	return v
 }
 
 func median(xs []float64) float64 {

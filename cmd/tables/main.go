@@ -75,6 +75,7 @@ func main() {
 		quick      = flag.Bool("quick", false, "shrink experiment durations")
 		seed       = flag.Uint64("seed", 0, "root seed for machine-level randomness (0 = calibrated defaults)")
 		parallel   = flag.Int("parallel", 0, "worker pool size for multi-replicate experiments (0 = GOMAXPROCS)")
+		stepBatch  = flag.Int("step-batch", 0, "machine batch cap: 1 forces per-op stepping (A/B escape hatch), 0 = default")
 		only       = flag.String("only", "", "comma-separated subset of experiments to run")
 		timeout    = flag.Duration("timeout", 0, "per-replicate wall-clock deadline (0 = none)")
 		keepGoing  = flag.Bool("keep-going", false, "record a failing experiment's error and continue")
@@ -127,6 +128,7 @@ func main() {
 		Quick:      *quick,
 		Seed:       *seed,
 		Parallel:   *parallel,
+		StepBatch:  *stepBatch,
 		Timeout:    *timeout,
 		KeepGoing:  *keepGoing,
 		MaxRetries: *maxRetries,

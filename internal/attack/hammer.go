@@ -56,15 +56,17 @@ func (o Options) validate() error {
 
 const attackBufBase = uint64(0x7000_0000)
 
-// hammerCore holds state shared by the three attack programs.
+// hammerCore holds state shared by the three attack programs. Progress is a
+// single committed-operation counter; iterations and aggressor accesses are
+// derived from it, so the per-op and batched paths share one source of
+// truth and can never drift.
 type hammerCore struct {
 	opts       Options
 	name       string
 	target     Target
-	ops        []machine.Op // one unrolled iteration
-	pos        int
-	iters      uint64
-	aggAcc     uint64 // accesses to the adjacent aggressor rows
+	ops        []machine.Op // one iteration
+	unrolled   []machine.Op // whole iterations repeated, for contiguous batch views
+	execOps    uint64       // operations committed (served by Next or Advance)
 	aggPerIter uint64
 }
 
@@ -91,23 +93,75 @@ func (h *hammerCore) resolveTarget(xlate translator, bufVA, bufLen uint64) error
 
 // AggressorAccesses reports how many DRAM-row accesses have been issued to
 // the rows adjacent to the victim — the quantity Table 1 reports.
-func (h *hammerCore) AggressorAccesses() uint64 { return h.aggAcc }
+func (h *hammerCore) AggressorAccesses() uint64 { return h.Iterations() * h.aggPerIter }
 
 // Iterations reports completed hammer iterations.
-func (h *hammerCore) Iterations() uint64 { return h.iters }
+func (h *hammerCore) Iterations() uint64 {
+	if len(h.ops) == 0 {
+		return 0
+	}
+	return h.execOps / uint64(len(h.ops))
+}
+
+// done reports whether the iteration budget is exhausted.
+func (h *hammerCore) done() bool {
+	return h.opts.MaxIterations > 0 && h.Iterations() >= h.opts.MaxIterations
+}
 
 func (h *hammerCore) Next() machine.Op {
-	if h.opts.MaxIterations > 0 && h.iters >= h.opts.MaxIterations {
+	if h.done() {
 		return machine.Op{Kind: machine.OpDone}
 	}
-	op := h.ops[h.pos]
-	h.pos++
-	if h.pos == len(h.ops) {
-		h.pos = 0
-		h.iters++
-		h.aggAcc += h.aggPerIter
-	}
+	op := h.ops[h.execOps%uint64(len(h.ops))]
+	h.execOps++
 	return op
+}
+
+// doneView is the terminal batch view shared by all hammer programs.
+var doneView = [1]machine.Op{{Kind: machine.OpDone}}
+
+// NextRun implements machine.BatchProgram: a contiguous window of the
+// unrolled iteration ring starting at the current phase, capped by the
+// iteration budget. Nothing is committed until Advance.
+func (h *hammerCore) NextRun(max int) []machine.Op {
+	if h.done() {
+		return doneView[:]
+	}
+	ringLen := uint64(len(h.unrolled))
+	start := h.execOps % ringLen
+	end := start + uint64(max)
+	if end > ringLen {
+		end = ringLen
+	}
+	if h.opts.MaxIterations > 0 {
+		opsLen := uint64(len(h.ops))
+		// Only price the budget when it can bite within one ring: the
+		// multiplication below then cannot overflow.
+		if itersLeft := h.opts.MaxIterations - h.execOps/opsLen; itersLeft <= ringLen/opsLen {
+			if rem := itersLeft*opsLen - h.execOps%opsLen; start+rem < end {
+				end = start + rem
+			}
+		}
+	}
+	return h.unrolled[start:end]
+}
+
+// Advance implements machine.BatchProgram.
+func (h *hammerCore) Advance(n int) { h.execOps += uint64(n) }
+
+// seal pre-unrolls the iteration into a ring of whole iterations so NextRun
+// serves long contiguous views regardless of the iteration length. Called at
+// the end of every attack Init.
+func (h *hammerCore) seal() {
+	iterLen := len(h.ops)
+	copies := (machine.DefaultBatchCap + iterLen - 1) / iterLen
+	if copies < 2 {
+		copies = 2
+	}
+	h.unrolled = make([]machine.Op, 0, copies*iterLen)
+	for i := 0; i < copies; i++ {
+		h.unrolled = append(h.unrolled, h.ops...)
+	}
 }
 
 // DoubleSidedFlush is the classic CLFLUSH-based double-sided rowhammer
@@ -154,6 +208,7 @@ func (a *DoubleSidedFlush) Init(p *machine.Proc) error {
 		a.ops = append(a.ops, machine.Op{Kind: machine.OpCompute, Cycles: a.opts.ExtraDelay})
 	}
 	a.aggPerIter = 2
+	a.seal()
 	return nil
 }
 
@@ -202,6 +257,7 @@ func (a *SingleSidedFlush) Init(p *machine.Proc) error {
 		a.ops = append(a.ops, machine.Op{Kind: machine.OpCompute, Cycles: a.opts.ExtraDelay})
 	}
 	a.aggPerIter = 1
+	a.seal()
 	return nil
 }
 
@@ -293,6 +349,7 @@ func (a *ClflushFree) Init(p *machine.Proc) error {
 		a.ops = append(a.ops, machine.Op{Kind: machine.OpCompute, Cycles: a.opts.ExtraDelay})
 	}
 	a.aggPerIter = 2
+	a.seal()
 	return nil
 }
 
@@ -315,9 +372,9 @@ func findVAInRowCol(mapper dram.Mapper, xlate translator, bufVA, bufLen uint64, 
 }
 
 var (
-	_ machine.Program = (*DoubleSidedFlush)(nil)
-	_ machine.Program = (*SingleSidedFlush)(nil)
-	_ machine.Program = (*ClflushFree)(nil)
+	_ machine.BatchProgram = (*DoubleSidedFlush)(nil)
+	_ machine.BatchProgram = (*SingleSidedFlush)(nil)
+	_ machine.BatchProgram = (*ClflushFree)(nil)
 )
 
 // findVAInRowOtherSet scans the buffer for an address in (bank,row) that is

@@ -70,7 +70,11 @@ type Level struct {
 	sliceBits uint // log2(Slices), for the slice-hash fold
 	sliceMask int
 	flat      []uint64 // packed lines, (slice*sets+set)*ways+way
-	stats     LevelStats
+	// invMask tracks each set's invalid ways as a bitmask (bit w set = way w
+	// invalid), so the first-invalid-way scans in probe and Fill are a single
+	// trailing-zeros count. Nil when ways > 64 (the scans remain).
+	invMask []uint64
+	stats   LevelStats
 
 	// Devirtualized replacement state; exactly one of these is non-nil,
 	// chosen by the policy kind (and associativity limits).
@@ -118,6 +122,13 @@ func NewLevel(cfg LevelConfig, rng *sim.Rand) (*Level, error) {
 	}
 	total := sets * cfg.Slices
 	l.flat = make([]uint64, total*cfg.Ways)
+	if cfg.Ways <= 64 {
+		full := ^uint64(0) >> (64 - uint(cfg.Ways))
+		l.invMask = make([]uint64, total)
+		for s := range l.invMask {
+			l.invMask[s] = full
+		}
+	}
 	switch {
 	case cfg.Policy == TrueLRU && cfg.Ways <= 8:
 		var init uint64
@@ -375,6 +386,12 @@ func (l *Level) probe(pa uint64, write bool) (hit bool, setIdx, freeWay int) {
 	}
 	l.stats.Misses++
 	freeWay = -1
+	if l.invMask != nil {
+		if m := l.invMask[setIdx]; m != 0 {
+			freeWay = bits.TrailingZeros64(m)
+		}
+		return false, setIdx, freeWay
+	}
 	for i, w := range set {
 		if w&lineValid == 0 {
 			freeWay = i
@@ -394,14 +411,20 @@ type Evicted struct {
 // displaced line, if any. The new line is marked dirty when write is set.
 func (l *Level) Fill(pa uint64, write bool) (Evicted, bool) {
 	setIdx := l.setIndex(pa)
-	base := setIdx * l.ways
-	set := l.flat[base : base+l.ways]
 	// Prefer an invalid way.
 	way := -1
-	for i, w := range set {
-		if w&lineValid == 0 {
-			way = i
-			break
+	if l.invMask != nil {
+		if m := l.invMask[setIdx]; m != 0 {
+			way = bits.TrailingZeros64(m)
+		}
+	} else {
+		base := setIdx * l.ways
+		set := l.flat[base : base+l.ways]
+		for i, w := range set {
+			if w&lineValid == 0 {
+				way = i
+				break
+			}
 		}
 	}
 	return l.fillAt(setIdx, way, pa, write)
@@ -430,6 +453,9 @@ func (l *Level) fillAt(setIdx, way int, pa uint64, write bool) (Evicted, bool) {
 		w |= lineDirty
 	}
 	set[way] = w
+	if l.invMask != nil {
+		l.invMask[setIdx] &^= 1 << uint(way)
+	}
 	l.touch(setIdx, way)
 	return ev, evicted
 }
@@ -453,6 +479,9 @@ func (l *Level) Invalidate(pa uint64) (present, dirty bool) {
 			if way < l.ways {
 				dirty = w&lineDirty != 0
 				l.flat[l.mruIdx] = 0
+				if l.invMask != nil {
+					l.invMask[setIdx] |= 1 << uint(way)
+				}
 				l.invalidateWay(setIdx, way)
 				l.stats.Flushes++
 				return true, dirty
@@ -464,6 +493,9 @@ func (l *Level) Invalidate(pa uint64) (present, dirty bool) {
 		if w&^lineDirty == want {
 			dirty = w&lineDirty != 0
 			set[i] = 0
+			if l.invMask != nil {
+				l.invMask[setIdx] |= 1 << uint(i)
+			}
 			l.invalidateWay(setIdx, i)
 			l.stats.Flushes++
 			return true, dirty

@@ -109,12 +109,19 @@ func (f BitFlip) String() string {
 	return fmt.Sprintf("flip bank %d row %d bit %d @%d", f.Bank, f.Row, f.Bit, uint64(f.Time))
 }
 
-// victim tracks the disturbance accumulator of one row.
+// victim tracks the disturbance accumulator of one row. The cached flip
+// threshold lives in the same struct so the activation path touches one
+// cache line per victim, not two arrays; the layout packs to 32 bytes
+// (two victims per line).
 type victim struct {
 	units     float64
 	lastReset sim.Cycles // time the accumulator last started from zero
-	lastSide  int8       // side (-1/+1) of the neighbour that last disturbed it
-	flipped   int        // weak cells already flipped in this accumulation epoch
+	// thr caches the row's weakest-cell flip threshold: 0 means not yet
+	// computed, +Inf an invulnerable row (so the units-vs-threshold compare
+	// needs no separate "vulnerable" flag).
+	thr      float64
+	flipped  int32 // weak cells already flipped in this accumulation epoch
+	lastSide int8  // side (-1/+1) of the neighbour that last disturbed it
 }
 
 // rowHash derives the deterministic per-row randomness for weak-cell

@@ -3,6 +3,7 @@ package dram
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 
 	"repro/internal/sim"
@@ -83,6 +84,7 @@ type ActivateHook func(c Coord, now sim.Cycles)
 type Module struct {
 	cfg    Config
 	mapper Mapper
+	linMap *LinearMapper // mapper devirtualized when it is the stock one
 	banks  []bankState
 	trefi  sim.Cycles
 
@@ -96,19 +98,42 @@ type Module struct {
 	interceptor func(c Coord, now sim.Cycles) bool
 
 	rowsPerRefCmd uint64 // rows covered by one REF command (lastScheduledRefresh)
+	// binShift/cmdMask replace the division by rowsPerRefCmd and the modulo
+	// by RefreshCommands with shift/mask when both are powers of two (true
+	// for every shipped geometry); the *OK flags gate the fast path.
+	binShift   uint
+	binShiftOK bool
+	cmdMask    uint64
+	cmdMaskOK  bool
+
+	// refOffset is each rank's refresh-schedule offset (zero unless
+	// StaggerRanks), precomputed so the access path never divides by the rank
+	// count.
+	refOffset []sim.Cycles
+	// stallFree memoises, per rank, a half-open interval of simulated time
+	// known to carry no refresh stall, so streams of accesses inside one
+	// tREFI window skip the modulo in refreshStall. Intervals are exact in
+	// both directions because callers' clocks are not monotone (cache
+	// writebacks arrive slightly in the past).
+	stallFreeFrom []sim.Cycles
+	stallFreeTo   []sim.Cycles
+	// epochK/epochStart/epochEnd memoise one refresh epoch (the interval
+	// [k*tREFI, (k+1)*tREFI) containing the last queried time) for the
+	// REF-close check and lastScheduledRefresh. Pure memoisation of
+	// uint64(t)/tREFI: results are identical whether or not the cache hits.
+	epochK     uint64
+	epochStart sim.Cycles
+	epochEnd   sim.Cycles
 
 	stats Stats
 }
 
 // bankDisturb is one bank's disturbance state, stored densely by row so the
-// activation path indexes arrays instead of hashing (bank,row) keys. Both
-// slices are allocated together on the bank's first disturbance.
+// activation path indexes an array instead of hashing (bank,row) keys. The
+// slice is allocated on the bank's first disturbance; each victim carries
+// its own cached flip threshold.
 type bankDisturb struct {
-	vic []victim // accumulators, index = row
-	// thr caches each row's weakest-cell flip threshold: 0 means not yet
-	// computed, +Inf an invulnerable row (so the units-vs-threshold compare
-	// needs no separate "vulnerable" flag).
-	thr []float64
+	vic []victim // accumulators + cached thresholds, index = row
 }
 
 func victimKey(bank, row int) uint64 { return uint64(bank)<<32 | uint64(uint32(row)) }
@@ -146,8 +171,28 @@ func New(cfg Config) (*Module, error) {
 		planted:       make(map[uint64][]weakCell),
 		rowsPerRefCmd: (uint64(cfg.Geometry.RowsPerBank) + cmds - 1) / cmds,
 	}
+	if lm, ok := mapper.(*LinearMapper); ok {
+		m.linMap = lm
+	}
+	if m.rowsPerRefCmd&(m.rowsPerRefCmd-1) == 0 {
+		m.binShift = uint(bits.TrailingZeros64(m.rowsPerRefCmd))
+		m.binShiftOK = true
+	}
+	if cmds&(cmds-1) == 0 {
+		m.cmdMask = cmds - 1
+		m.cmdMaskOK = true
+	}
 	if cfg.Detailed != nil {
 		m.engine = newCommandEngine(cfg.Detailed, cfg.Geometry.Banks(), cfg.Geometry.Ranks)
+	}
+	ranks := cfg.Geometry.Ranks
+	m.refOffset = make([]sim.Cycles, ranks)
+	m.stallFreeFrom = make([]sim.Cycles, ranks)
+	m.stallFreeTo = make([]sim.Cycles, ranks)
+	if cfg.StaggerRanks && ranks > 1 {
+		for r := 0; r < ranks; r++ {
+			m.refOffset[r] = m.trefi / sim.Cycles(ranks) * sim.Cycles(r)
+		}
 	}
 	for i := range m.banks {
 		m.banks[i].openRow = -1
@@ -217,8 +262,8 @@ func (m *Module) PlantWeakRow(bank, row int, units float64) error {
 // dropCachedThreshold marks a row's dense threshold cache entry as
 // uncomputed after planting changes the row's weak cells.
 func (m *Module) dropCachedThreshold(bank, row int) {
-	if bd := &m.disturbed[bank]; bd.thr != nil {
-		bd.thr[row] = 0
+	if bd := &m.disturbed[bank]; bd.vic != nil {
+		bd.vic[row].thr = 0
 	}
 }
 
@@ -249,13 +294,13 @@ func (m *Module) rowCells(bank, row int) []weakCell {
 }
 
 // cacheThreshold computes (bank,row)'s weakest-cell threshold and stores it
-// in the bank's dense cache, with +Inf standing in for "never flips".
-func (m *Module) cacheThreshold(bd *bankDisturb, bank, row int) float64 {
+// on the row's victim record, with +Inf standing in for "never flips".
+func (m *Module) cacheThreshold(v *victim, bank, row int) float64 {
 	thr, vulnerable := m.RowThreshold(bank, row)
 	if !vulnerable {
 		thr = math.Inf(1)
 	}
-	bd.thr[row] = thr
+	v.thr = thr
 	return thr
 }
 
@@ -322,12 +367,22 @@ func (m *Module) VictimUnits(bank, row int, now sim.Cycles) float64 {
 // per-tREFI events are needed.
 func (m *Module) lastScheduledRefresh(row int, now sim.Cycles) sim.Cycles {
 	cmds := uint64(m.cfg.Timing.RefreshCommands)
-	bin := uint64(row) / m.rowsPerRefCmd
-	kNow := uint64(now) / uint64(m.trefi)
+	var bin uint64
+	if m.binShiftOK {
+		bin = uint64(row) >> m.binShift
+	} else {
+		bin = uint64(row) / m.rowsPerRefCmd
+	}
+	kNow := m.refEpoch(now)
 	if kNow < bin {
 		return 0
 	}
-	kLast := kNow - (kNow-bin)%cmds
+	var kLast uint64
+	if m.cmdMaskOK {
+		kLast = kNow - (kNow-bin)&m.cmdMask
+	} else {
+		kLast = kNow - (kNow-bin)%cmds
+	}
 	if f := m.fault; f != nil && f.cfg.RefreshSkipRate > 0 {
 		// Walk back over skipped REF slots: a skipped sweep left the row's
 		// charge (and disturbance accumulator) untouched, so the effective
@@ -345,27 +400,105 @@ func (m *Module) lastScheduledRefresh(row int, now sim.Cycles) sim.Cycles {
 // refreshStall returns how long an access arriving at now on the given rank
 // must wait for an in-progress REF command to finish.
 func (m *Module) refreshStall(rank int, now sim.Cycles) sim.Cycles {
-	offset := sim.Cycles(0)
-	if m.cfg.StaggerRanks && m.cfg.Geometry.Ranks > 1 {
-		offset = m.trefi / sim.Cycles(m.cfg.Geometry.Ranks) * sim.Cycles(rank)
+	if now >= m.stallFreeFrom[rank] && now < m.stallFreeTo[rank] {
+		return 0
 	}
-	t := uint64(now) + uint64(m.trefi) - uint64(offset)
+	t := uint64(now) + uint64(m.trefi) - uint64(m.refOffset[rank])
 	phase := sim.Cycles(t % uint64(m.trefi))
 	if phase < m.cfg.Timing.RFC {
 		return m.cfg.Timing.RFC - phase
 	}
+	// phase in [RFC, tREFI): the whole stall-free remainder of this window is
+	// now known; memoise it so the next accesses in the window skip the mod.
+	m.stallFreeFrom[rank] = now - (phase - m.cfg.Timing.RFC)
+	m.stallFreeTo[rank] = now + (m.trefi - phase)
 	return 0
+}
+
+// NextRefreshSlot returns the next simulated time strictly derived from the
+// refresh schedule at which some rank begins a REF command (the start of a
+// refresh-stall window) at or after now; it is at most now+tREFI. The epoch
+// planner uses it to bound batched runs so a horizon never overshoots a
+// refresh boundary by more than one access.
+func (m *Module) NextRefreshSlot(now sim.Cycles) sim.Cycles {
+	next := now + m.trefi
+	for r := range m.refOffset {
+		phase := (now + m.trefi - m.refOffset[r]) % m.trefi
+		if t := now + m.trefi - phase; t < next {
+			next = t
+		}
+	}
+	return next
+}
+
+// refEpoch returns uint64(t)/tREFI through the one-entry epoch cache.
+func (m *Module) refEpoch(t sim.Cycles) uint64 {
+	if t < m.epochStart || t >= m.epochEnd {
+		m.setRefEpoch(t)
+	}
+	return m.epochK
+}
+
+func (m *Module) setRefEpoch(t sim.Cycles) {
+	k := uint64(t) / uint64(m.trefi)
+	m.epochK = k
+	m.epochStart = sim.Cycles(k) * m.trefi
+	m.epochEnd = m.epochStart + m.trefi
+}
+
+// sameRefEpoch reports whether a and b fall in the same refresh epoch
+// (uint64(a)/tREFI == uint64(b)/tREFI), consulting the epoch cache. Epoch
+// intervals partition time, so one timestamp inside the cached interval and
+// one outside decides "different" without dividing.
+func (m *Module) sameRefEpoch(a, b sim.Cycles) bool {
+	aIn := a >= m.epochStart && a < m.epochEnd
+	bIn := b >= m.epochStart && b < m.epochEnd
+	switch {
+	case aIn && bIn:
+		return true
+	case aIn || bIn:
+		return false
+	default:
+		m.setRefEpoch(b)
+		return a >= m.epochStart && a < m.epochEnd
+	}
 }
 
 // Access performs one read or write of the physical address at simulated
 // time now and returns its latency and classification.
 func (m *Module) Access(pa uint64, write bool, now sim.Cycles) AccessResult {
-	c := m.mapper.Map(pa)
+	var c Coord
+	if m.linMap != nil {
+		c = m.linMap.Map(pa)
+	} else {
+		c = m.mapper.Map(pa)
+	}
 	return m.AccessCoord(c, write, now)
 }
 
 // AccessCoord is Access for a pre-decoded coordinate.
 func (m *Module) AccessCoord(c Coord, write bool, now sim.Cycles) AccessResult {
+	// Row-buffer-hit fast path: the open row matches, the rank is provably
+	// outside any refresh-stall window, no REF boundary was crossed since
+	// the bank's last access, and neither contention nor the command engine
+	// is in play. Every condition is a pure read, so falling through runs
+	// the general path with no state disturbed; when all hold, the general
+	// path would perform exactly these updates.
+	if b := &m.banks[c.Bank]; b.openRow == c.Row && m.engine == nil && !m.cfg.Contention {
+		rank := m.cfg.Geometry.Rank(c.Bank)
+		if now >= m.stallFreeFrom[rank] && now < m.stallFreeTo[rank] &&
+			now >= m.epochStart && now < m.epochEnd &&
+			b.lastAccess >= m.epochStart && b.lastAccess < m.epochEnd {
+			if write {
+				m.stats.Writes++
+			} else {
+				m.stats.Reads++
+			}
+			m.stats.RowHits++
+			b.lastAccess = now
+			return AccessResult{Coord: c, RowHit: true, Latency: m.cfg.Timing.RowHit}
+		}
+	}
 	if write {
 		m.stats.Writes++
 	} else {
@@ -386,7 +519,7 @@ func (m *Module) AccessCoord(c Coord, write bool, now sim.Cycles) AccessResult {
 	}
 	// An auto-refresh command requires all banks precharged, so any REF
 	// since the bank's last access closed its open row.
-	if b.openRow >= 0 && uint64(now)/uint64(m.trefi) != uint64(b.lastAccess)/uint64(m.trefi) {
+	if b.openRow >= 0 && !m.sameRefEpoch(now, b.lastAccess) {
 		b.openRow = -1
 	}
 	b.lastAccess = now
@@ -495,7 +628,6 @@ func (m *Module) disturb(bank, row int, side int8, scale float64, now sim.Cycles
 	bd := &m.disturbed[bank]
 	if bd.vic == nil {
 		bd.vic = make([]victim, m.cfg.Geometry.RowsPerBank)
-		bd.thr = make([]float64, m.cfg.Geometry.RowsPerBank)
 	}
 	v := &bd.vic[row]
 	// Lazy periodic-refresh reset.
@@ -518,15 +650,15 @@ func (m *Module) disturb(bank, row int, side int8, scale float64, now sim.Cycles
 	// Fast path: compare against the cached threshold and materialise the
 	// cell list only once the weakest cell's threshold has been reached (the
 	// hot path runs on every activation).
-	thr := bd.thr[row]
+	thr := v.thr
 	if thr == 0 {
-		thr = m.cacheThreshold(bd, bank, row)
+		thr = m.cacheThreshold(v, bank, row)
 	}
 	if v.units < thr {
 		return
 	}
 	cells := m.rowCells(bank, row)
-	for v.flipped < len(cells) && v.units >= cells[v.flipped].threshold {
+	for int(v.flipped) < len(cells) && v.units >= cells[v.flipped].threshold {
 		m.flips = append(m.flips, BitFlip{
 			Bank: bank,
 			Row:  row,

@@ -20,11 +20,12 @@ type Table1Row struct {
 }
 
 // table1Run measures one attack on the unprotected 64 ms machine.
-func table1Run(kind scenario.AttackKind, seed uint64) (Table1Row, error) {
+func table1Run(kind scenario.AttackKind, cfg Config) (Table1Row, error) {
 	in, err := scenario.Build(scenario.Spec{
-		Cores:  1,
-		Seed:   seed,
-		Attack: &scenario.Attack{Kind: kind},
+		Cores:     1,
+		Seed:      cfg.Seed,
+		Attack:    &scenario.Attack{Kind: kind},
+		StepBatch: cfg.StepBatch,
 	})
 	if err != nil {
 		return Table1Row{}, fmt.Errorf("table1 %s: %w", kind.Label(), err)
@@ -48,7 +49,7 @@ func table1Run(kind scenario.AttackKind, seed uint64) (Table1Row, error) {
 func Table1(cfg Config) ([]Table1Row, error) {
 	kinds := scenario.AttackKinds()
 	return scenario.RunReplicates(cfg, len(kinds), func(rep int) (Table1Row, error) {
-		return table1Run(kinds[rep], cfg.Seed)
+		return table1Run(kinds[rep], cfg)
 	})
 }
 
@@ -99,9 +100,10 @@ func Table1Sweep(cfg Config) ([]Table1SweepRow, error) {
 	seeds := table1SweepSeeds(cfg)
 	reps, status, err := scenario.RunReplicatesSweep(cfg, seeds, func(rep int) ([]Table1Row, error) {
 		return Table1(Config{
-			Quick:    cfg.Quick,
-			Seed:     scenario.ReplicateSeed(cfg.Seed, rep),
-			Parallel: 1, // the sweep level owns the parallelism
+			Quick:     cfg.Quick,
+			Seed:      scenario.ReplicateSeed(cfg.Seed, rep),
+			Parallel:  1, // the sweep level owns the parallelism
+			StepBatch: cfg.StepBatch,
 		})
 	})
 	if err != nil {
@@ -179,9 +181,10 @@ type Figure1Result struct {
 // only a constant number of extra misses.
 func Figure1(cfg Config) (Figure1Result, error) {
 	in, err := scenario.Build(scenario.Spec{
-		Cores:  1,
-		Seed:   cfg.Seed,
-		Attack: &scenario.Attack{Kind: scenario.ClflushFree},
+		Cores:     1,
+		Seed:      cfg.Seed,
+		Attack:    &scenario.Attack{Kind: scenario.ClflushFree},
+		StepBatch: cfg.StepBatch,
 	})
 	if err != nil {
 		return Figure1Result{}, err
@@ -223,6 +226,7 @@ func Section21(cfg Config) (Section21Result, error) {
 		Seed:         cfg.Seed,
 		RefreshScale: 2,
 		Attack:       &scenario.Attack{Kind: scenario.DoubleSidedFlush},
+		StepBatch:    cfg.StepBatch,
 	})
 	if err != nil {
 		return Section21Result{}, err
@@ -244,7 +248,7 @@ func RenderSection21(r Section21Result) string {
 // Section22 reruns the replacement-policy inference of §2.2 and returns the
 // ranked scores (Bit-PLRU must come first on the Sandy Bridge model).
 func Section22(cfg Config) ([]attack.PolicyScore, error) {
-	in, err := scenario.Build(scenario.Spec{Cores: 1, Seed: cfg.Seed})
+	in, err := scenario.Build(scenario.Spec{Cores: 1, Seed: cfg.Seed, StepBatch: cfg.StepBatch})
 	if err != nil {
 		return nil, err
 	}

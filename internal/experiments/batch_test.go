@@ -1,0 +1,133 @@
+package experiments_test
+
+// Batch-boundary determinism: the epoch-bounded batched core must produce
+// output byte-identical to per-op stepping at every batch-cap choice. The
+// referee experiments are table1 (against its pinned golden, so batching
+// can never silently move the baseline) and fault-matrix (whose profiles
+// inject late timers, PMI cost, PEBS drops and refresh faults — the event
+// sources the epoch planner must not reorder). A worker-sweep variant runs
+// under -race in CI, doubling as the data-race check on the batched paths.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	_ "repro/internal/experiments" // registers every table and figure
+	"repro/internal/scenario"
+)
+
+// stepBatches is the table of batch horizons: the per-op escape hatch, two
+// awkward caps that force frequent mid-run batch boundaries, and an
+// effectively unbounded cap where only architectural horizons cut epochs.
+var stepBatches = []struct {
+	name string
+	cap  int
+}{
+	{"per-op", 1},
+	{"batch-7", 7},
+	{"batch-64", 64},
+	{"unbounded", 1 << 20},
+}
+
+// runJSON executes a registered experiment and returns its indented JSON in
+// the golden-file framing.
+func runJSON(t *testing.T, name string, cfg scenario.Config) []byte {
+	t.Helper()
+	e, ok := scenario.Find(name)
+	if !ok {
+		t.Fatalf("experiment %q not registered", name)
+	}
+	res, err := e.Run(cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	raw, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatalf("%s: marshal: %v", name, err)
+	}
+	return append(raw, '\n')
+}
+
+// TestBatchBoundaryTable1Golden pins table1 to its golden at every batch
+// horizon: any batched-vs-per-op divergence shows up as a golden mismatch
+// attributable to a specific cap.
+func TestBatchBoundaryTable1Golden(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "table1_quick_seed7.golden.json"))
+	if err != nil {
+		t.Fatalf("reading golden: %v", err)
+	}
+	for _, sb := range stepBatches {
+		t.Run(sb.name, func(t *testing.T) {
+			got := runJSON(t, "table1", scenario.Config{Quick: true, Seed: 7, StepBatch: sb.cap})
+			if !bytes.Equal(got, want) {
+				t.Errorf("table1 at StepBatch=%d diverged from the pinned golden.\ngot:\n%s\nwant:\n%s",
+					sb.cap, got, want)
+			}
+		})
+	}
+}
+
+// TestBatchBoundaryFaultMatrix runs the fault matrix — late timers, PMI
+// cost, PEBS drops, flaky refresh, ECC scrubbing — at every batch horizon
+// and requires byte-identical JSON to the per-op reference.
+func TestBatchBoundaryFaultMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault matrix is not a short-mode experiment")
+	}
+	ref := runJSON(t, "fault-matrix", scenario.Config{Quick: true, Seed: 7, StepBatch: 1})
+	for _, sb := range stepBatches[1:] {
+		t.Run(sb.name, func(t *testing.T) {
+			got := runJSON(t, "fault-matrix", scenario.Config{Quick: true, Seed: 7, StepBatch: sb.cap})
+			if !bytes.Equal(got, ref) {
+				t.Errorf("fault-matrix at StepBatch=%d diverged from per-op stepping.\ngot:\n%s\nwant:\n%s",
+					sb.cap, got, ref)
+			}
+		})
+	}
+}
+
+// TestBatchWorkersInvariant crosses the batched core with the parallel
+// runner: a multi-replicate sweep must not notice worker count at any batch
+// horizon. Runs under -race in CI.
+func TestBatchWorkersInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep experiment is not short-mode")
+	}
+	for _, sb := range []struct {
+		name string
+		cap  int
+	}{{"batch-7", 7}, {"unbounded", 1 << 20}} {
+		t.Run(sb.name, func(t *testing.T) {
+			serial := runJSON(t, "table1-sweep", scenario.Config{Quick: true, Seed: 7, Parallel: 1, StepBatch: sb.cap})
+			parallel := runJSON(t, "table1-sweep", scenario.Config{Quick: true, Seed: 7, Parallel: 8, StepBatch: sb.cap})
+			if !bytes.Equal(serial, parallel) {
+				t.Errorf("table1-sweep at StepBatch=%d depends on workers:\n1 worker: %s\n8 workers: %s",
+					sb.cap, serial, parallel)
+			}
+		})
+	}
+}
+
+// TestStepBatchEscapeHatchEveryExperiment is the acceptance sweep: every
+// registered experiment must produce byte-identical JSON with the batch-size-1
+// escape hatch and with the default batched core. Short mode keeps to the
+// sub-second experiments, mirroring the registry runnability test.
+func TestStepBatchEscapeHatchEveryExperiment(t *testing.T) {
+	cheap := map[string]bool{"table1": true, "figure1": true, "section21": true, "section22": true}
+	for _, e := range scenario.Experiments() {
+		if testing.Short() && !cheap[e.Name] {
+			continue
+		}
+		t.Run(e.Name, func(t *testing.T) {
+			perOp := runJSON(t, e.Name, scenario.Config{Quick: true, Seed: 7, StepBatch: 1})
+			batched := runJSON(t, e.Name, scenario.Config{Quick: true, Seed: 7})
+			if !bytes.Equal(perOp, batched) {
+				t.Errorf("%s: per-op (StepBatch=1) and batched output differ.\nper-op:\n%s\nbatched:\n%s",
+					e.Name, perOp, batched)
+			}
+		})
+	}
+}

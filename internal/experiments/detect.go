@@ -28,12 +28,13 @@ type table3Trial struct {
 	Detections int
 }
 
-func table3RunTrial(kind scenario.AttackKind, heavy bool, seed uint64, dur time.Duration) (table3Trial, error) {
+func table3RunTrial(kind scenario.AttackKind, heavy bool, seed uint64, dur time.Duration, stepBatch int) (table3Trial, error) {
 	spec := scenario.Spec{
-		Cores:   4,
-		Seed:    seed,
-		Attack:  &scenario.Attack{Kind: kind},
-		Defense: scenario.ANVILBaseline,
+		Cores:     4,
+		Seed:      seed,
+		Attack:    &scenario.Attack{Kind: kind},
+		Defense:   scenario.ANVILBaseline,
+		StepBatch: stepBatch,
 	}
 	if heavy {
 		spec.Workloads = heavyLoadNames()
@@ -92,7 +93,7 @@ func Table3(cfg Config) ([]Table3Row, error) {
 		if trial > 0 {
 			trialDur = 96 * time.Millisecond
 		}
-		return table3RunTrial(p.kind, p.heavy, seed, trialDur)
+		return table3RunTrial(p.kind, p.heavy, seed, trialDur, cfg.StepBatch)
 	})
 	if err != nil {
 		return nil, err

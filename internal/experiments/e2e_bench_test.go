@@ -1,0 +1,39 @@
+package experiments_test
+
+// End-to-end throughput benchmark: how many Table-1 replicates per second
+// the whole stack sustains (scenario build, machine run, attack, DRAM
+// disturbance, JSON-ready results). Component ns/op benchmarks miss
+// cross-package effects — dispatch overhead between machine, memsys and pmu
+// is exactly what the batched core attacks — so `make bench` tracks this
+// sweep-level number alongside them (the "replicates/s" metric in
+// BENCH_PR7.json, guarded in CI against >20% regressions).
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/scenario"
+)
+
+// e2eWorkers pins the sweep's worker count so the metric is comparable
+// across runs on the same machine regardless of GOMAXPROCS.
+const e2eWorkers = 4
+
+func BenchmarkEndToEnd(b *testing.B) {
+	b.Run("table1sweep-quick", func(b *testing.B) {
+		cfg := scenario.Config{Quick: true, Seed: 7, Parallel: e2eWorkers}
+		reps := 0
+		for i := 0; i < b.N; i++ {
+			rows, err := experiments.Table1Sweep(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rows) == 0 {
+				b.Fatal("empty sweep result")
+			}
+			// Quick sweep: table1SweepSeeds(quick) seeds x 3 attacks.
+			reps += rows[0].Seeds * len(scenario.AttackKinds())
+		}
+		b.ReportMetric(float64(reps)/b.Elapsed().Seconds(), "replicates/s")
+	})
+}

@@ -89,6 +89,7 @@ func DegradedSampling(cfg Config) ([]DegradedSamplingRow, error) {
 		} else {
 			spec = degradedSamplingSpec(seed, dropRates[point-1])
 		}
+		spec.StepBatch = cfg.StepBatch
 		in, err := scenario.Build(spec)
 		if err != nil {
 			return scenario.Results{}, err
@@ -223,12 +224,13 @@ type FaultMatrixRow struct {
 // is the honest rerun of an injected-fault casualty.
 func faultMatrixReplicate(cfg Config, p faultProfile, dur time.Duration) (scenario.Results, error) {
 	in, err := scenario.Build(scenario.Spec{
-		Cores:    1,
-		Seed:     cfg.Seed,
-		Attack:   &scenario.Attack{Kind: scenario.DoubleSidedFlush},
-		Defense:  scenario.ANVILBaseline,
-		Faults:   p.faults,
-		ECCScrub: p.eccScrub,
+		Cores:     1,
+		Seed:      cfg.Seed,
+		Attack:    &scenario.Attack{Kind: scenario.DoubleSidedFlush},
+		Defense:   scenario.ANVILBaseline,
+		Faults:    p.faults,
+		ECCScrub:  p.eccScrub,
+		StepBatch: cfg.StepBatch,
 	})
 	if err != nil {
 		return scenario.Results{}, err

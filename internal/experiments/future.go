@@ -45,7 +45,8 @@ func Section45(cfg Config) ([]Section45Row, error) {
 				WeakUnits:  victimThreshold / 2,
 				ExtraDelay: p.delay,
 			},
-			Defense: p.defense,
+			Defense:   p.defense,
+			StepBatch: cfg.StepBatch,
 		})
 		if err != nil {
 			return Section45Row{}, err
@@ -116,6 +117,7 @@ func Defenses(cfg Config) ([]DefenseRow, error) {
 			RefreshScale: e.refreshScale,
 			Attack:       &scenario.Attack{Kind: scenario.DoubleSidedFlush},
 			Defense:      e.defense,
+			StepBatch:    cfg.StepBatch,
 		})
 		if err != nil {
 			return DefenseRow{}, err

@@ -34,6 +34,7 @@ func falsePositives(cfg Config, def scenario.DefenseKind, profs []workload.Profi
 			Seed:      cfg.Seed,
 			Workloads: []scenario.Workload{{Name: prof.Name}},
 			Defense:   def,
+			StepBatch: cfg.StepBatch,
 		})
 		if err != nil {
 			return Table4Row{}, err
@@ -79,6 +80,7 @@ func measureRuntime(cfg Config, prof workload.Profile, ops uint64, def scenario.
 		RefreshScale: refreshScale,
 		Workloads:    []scenario.Workload{{Name: prof.Name, OpLimit: ops}},
 		Defense:      def,
+		StepBatch:    cfg.StepBatch,
 	})
 	if err != nil {
 		return 0, err

@@ -1,0 +1,56 @@
+package machine
+
+import (
+	"testing"
+)
+
+// TestBatchedEpochSteadyStateAllocs pins the allocation-free property of the
+// epoch planner and batched inner loop: once the core's request scratch and
+// the memory system's lazy state are warm, advancing the machine through
+// many epochs must not allocate.
+func TestBatchedEpochSteadyStateAllocs(t *testing.T) {
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Spawn(0, &loadLoop{n: 1 << 40}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunFor(1 << 16); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := m.RunFor(1 << 12); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state batched Run allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestPerOpSteadyStateAllocs pins the same property for the BatchCap=1
+// escape hatch, so forcing per-op stepping for bisection never changes the
+// allocation profile either.
+func TestPerOpSteadyStateAllocs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BatchCap = 1
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Spawn(0, &loadLoop{n: 1 << 40}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunFor(1 << 16); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := m.RunFor(1 << 12); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state per-op Run allocates %.1f times per run, want 0", allocs)
+	}
+}

@@ -15,7 +15,10 @@ type loadLoop struct {
 	lines uint64
 	base  uint64
 	i     uint64
+	ring  []Op // loads unrolled to at least one full batch (len is a multiple of lines)
 }
+
+var _ BatchProgram = (*loadLoop)(nil)
 
 func (p *loadLoop) Name() string { return "load-loop" }
 
@@ -23,6 +26,16 @@ func (p *loadLoop) Init(pr *Proc) error {
 	p.base = 0x100000
 	if p.lines == 0 {
 		p.lines = 64
+	}
+	copies := (DefaultBatchCap + int(p.lines) - 1) / int(p.lines)
+	if copies < 2 {
+		copies = 2
+	}
+	p.ring = make([]Op, 0, copies*int(p.lines))
+	for c := 0; c < copies; c++ {
+		for j := uint64(0); j < p.lines; j++ {
+			p.ring = append(p.ring, Op{Kind: OpLoad, VA: p.base + j*64})
+		}
 	}
 	return pr.AS.Map(p.base, p.lines*64)
 }
@@ -35,6 +48,28 @@ func (p *loadLoop) Next() Op {
 	p.i++
 	return Op{Kind: OpLoad, VA: va}
 }
+
+var loadLoopDone = [1]Op{{Kind: OpDone}}
+
+// NextRun serves a contiguous window of the unrolled ring; the ring length is
+// a multiple of lines, so i mod len(ring) lands on the same VA as Next would.
+func (p *loadLoop) NextRun(max int) []Op {
+	if p.i >= p.n {
+		return loadLoopDone[:]
+	}
+	ringLen := uint64(len(p.ring))
+	start := p.i % ringLen
+	end := start + uint64(max)
+	if end > ringLen {
+		end = ringLen
+	}
+	if left := p.n - p.i; start+left < end {
+		end = start + left
+	}
+	return p.ring[start:end]
+}
+
+func (p *loadLoop) Advance(n int) { p.i += uint64(n) }
 
 // runOps builds a machine with `progs` load-loop programs of n ops each and
 // runs it to completion.

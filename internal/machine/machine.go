@@ -88,6 +88,11 @@ type Kernel struct {
 	nextTID int
 	seq     int
 	fault   *kernelFault // nil unless Machine.InjectFaults installed one
+	// gen counts schedule-shaping events (timer arming, spawns). The batched
+	// core snapshots it when planning an epoch: any change mid-epoch means a
+	// handler armed an event the plan did not account for, so the epoch ends
+	// at the next operation boundary.
+	gen uint64
 }
 
 // FaultConfig injects interrupt-delivery degradations into the kernel. The
@@ -169,6 +174,7 @@ func (k *Kernel) At(t sim.Cycles, fn func(now sim.Cycles)) {
 		}
 	}
 	k.seq++
+	k.gen++
 	k.timers = append(k.timers, timer{due: t, seq: k.seq, fn: fn})
 	i := len(k.timers) - 1
 	for i > 0 {
@@ -241,6 +247,11 @@ type Core struct {
 	tasks     []*task
 	cur       int
 	sliceLeft sim.Cycles
+	reqs      []memsys.Req // scratch buffer for the batched access path
+	// bprog caches the BatchProgram assertion on Prog, set by Spawn when the
+	// machine batches (BatchCap > 1). Nil selects the per-op step path; cores
+	// with SpawnShared run queues always step per-op.
+	bprog BatchProgram
 }
 
 // Config sets up a Machine.
@@ -252,6 +263,12 @@ type Config struct {
 	// attacker contiguous buffers; vm.Scatter forces pagemap use).
 	AllocPolicy vm.AllocPolicy
 	AllocSeed   uint64
+	// BatchCap bounds how many operations a batch-capable program executes
+	// per inner-loop view (see BatchProgram). Zero selects DefaultBatchCap;
+	// 1 disables batching entirely, forcing the per-op step path — the
+	// escape hatch for bisecting any batched-vs-per-op divergence. Results
+	// are byte-identical at every setting.
+	BatchCap int
 }
 
 // DefaultConfig models the paper's dual-core i5-2540M (2 cores; we ignore
@@ -278,12 +295,20 @@ type Machine struct {
 
 	current  *Core // core whose op is executing (for Charge)
 	spawnGen int   // bumped by Spawn/SpawnShared; invalidates Run's fast path
+	batchCap int   // resolved Config.BatchCap (<=1 means per-op stepping)
 }
 
 // New builds a machine.
 func New(cfg Config) (*Machine, error) {
 	if cfg.Cores <= 0 {
 		return nil, fmt.Errorf("machine: need at least one core, got %d", cfg.Cores)
+	}
+	if cfg.BatchCap < 0 {
+		return nil, fmt.Errorf("machine: batch cap must be non-negative, got %d", cfg.BatchCap)
+	}
+	batchCap := cfg.BatchCap
+	if batchCap == 0 {
+		batchCap = DefaultBatchCap
 	}
 	mem, err := memsys.New(cfg.Memory)
 	if err != nil {
@@ -294,10 +319,11 @@ func New(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	m := &Machine{
-		Freq:   cfg.Freq,
-		Mem:    mem,
-		Kernel: &Kernel{Alloc: alloc, procs: make(map[int]*Proc)},
-		Sched:  DefaultSchedParams(),
+		Freq:     cfg.Freq,
+		Mem:      mem,
+		Kernel:   &Kernel{Alloc: alloc, procs: make(map[int]*Proc)},
+		Sched:    DefaultSchedParams(),
+		batchCap: batchCap,
 	}
 	for i := 0; i < cfg.Cores; i++ {
 		m.Cores = append(m.Cores, &Core{ID: i, Done: true})
@@ -322,8 +348,13 @@ func (m *Machine) Spawn(core int, prog Program) (*Proc, error) {
 	c.Prog = prog
 	c.Done = false
 	c.Err = nil
+	c.bprog = nil
+	if bp, ok := prog.(BatchProgram); ok && m.batchCap > 1 {
+		c.bprog = bp
+	}
 	p.core = c
 	m.spawnGen++
+	m.Kernel.gen++
 	return p, nil
 }
 
@@ -450,7 +481,7 @@ func (m *Machine) Run(until sim.Cycles) error {
 					m.Kernel.fireDue(until)
 					return nil
 				}
-				if err := m.stepCore(c); err != nil {
+				if err := m.runCore(c, until); err != nil {
 					return err
 				}
 				if m.spawnGen != gen {
@@ -463,7 +494,7 @@ func (m *Machine) Run(until sim.Cycles) error {
 			m.Kernel.fireDue(until)
 			return nil
 		}
-		if err := m.stepCore(c); err != nil {
+		if err := m.runCore(c, until); err != nil {
 			return err
 		}
 	}

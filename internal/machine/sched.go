@@ -47,11 +47,13 @@ func (m *Machine) SpawnShared(core int, prog Program) (*Proc, error) {
 	}
 	t := &task{proc: p, prog: prog}
 	if c.Done && len(c.tasks) == 0 {
-		// First occupant: behave exactly like Spawn.
+		// First occupant: behave exactly like Spawn, except run queues always
+		// step per-op (rotation decides the next op's owner).
 		c.Proc = p
 		c.Prog = prog
 		c.Done = false
 		c.Err = nil
+		c.bprog = nil
 		p.core = c
 	}
 	c.tasks = append(c.tasks, t)
@@ -59,6 +61,7 @@ func (m *Machine) SpawnShared(core int, prog Program) (*Proc, error) {
 		c.sliceLeft = m.quantum()
 	}
 	m.spawnGen++
+	m.Kernel.gen++
 	return p, nil
 }
 

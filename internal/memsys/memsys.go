@@ -83,6 +83,133 @@ func (s *System) Access(va, pa uint64, write bool, task, core int, now sim.Cycle
 	return res
 }
 
+// ReqKind classifies one request of a batched access run.
+type ReqKind uint8
+
+// The request kinds. Loads and stores go through the caches and are observed
+// by the PMU; flushes invalidate without a PMU event, exactly as in the
+// per-op path.
+const (
+	ReqLoad ReqKind = iota
+	ReqStore
+	ReqFlush
+)
+
+// Req is one pre-translated memory operation of a homogeneous run.
+type Req struct {
+	VA   uint64
+	PA   uint64
+	Kind ReqKind
+}
+
+// RunResult aggregates what AccessRun executed.
+type RunResult struct {
+	// Executed counts requests completed (the prefix reqs[:Executed]).
+	Executed int
+	Loads    uint64
+	Stores   uint64
+	Flushes  uint64
+	// MemCycles is the summed load/store latency; flush latency is excluded,
+	// matching the per-op accounting in the machine.
+	MemCycles sim.Cycles
+	// LastLatency is the latency of the last load or store executed; HadMem
+	// reports whether there was one (flush-only runs leave the caller's
+	// last-latency register untouched).
+	LastLatency sim.Cycles
+	HadMem      bool
+}
+
+// AccessRun executes a prefix of reqs as one batched run: each request goes
+// through the caches (and PMU, for loads and stores) exactly as Access/Flush
+// would, with *now advanced by each latency in place. now aliases the
+// executing core's clock so PMI charges (which the PMU's sample hook applies
+// through the machine) land between the observation and the latency charge,
+// byte-identical to the per-op path.
+//
+// The run stops early — always after completing a request, never mid-request
+// — when *now reaches stopAt or when *kgen moves (the caller's kernel
+// generation counter; timer arming from a PMI handler invalidates the
+// caller's planned horizon). The first request executes unconditionally; the
+// caller guarantees *now < stopAt on entry.
+//
+// Overflow delivery stays exact without per-access checks: a budget of
+// overflow-free accesses from the PMU lets the hot loop use ObserveCounted,
+// falling back to a full Observe whenever the budget is spent, and any
+// overflow-configuration change (arming from a sample hook, delivery,
+// re-arming from a handler) re-prices the budget.
+func (s *System) AccessRun(reqs []Req, task, core int, now *sim.Cycles, stopAt sim.Cycles, kgen *uint64) RunResult {
+	var r RunResult
+	p := s.PMU
+	caches := s.Caches
+	gen0 := *kgen
+	pgen := p.ConfigGen()
+	bound := p.AccessesUntilOverflow()
+	for i := range reqs {
+		req := &reqs[i]
+		if req.Kind == ReqFlush {
+			lat, _ := caches.Flush(req.PA, *now)
+			*now += lat
+			r.Flushes++
+			r.Executed++
+		} else {
+			write := req.Kind == ReqStore
+			t := *now
+			res := caches.Access(req.PA, write, t)
+			if bound == 0 {
+				p.Observe(pmu.Access{
+					VA:      req.VA,
+					PA:      req.PA,
+					Write:   write,
+					Latency: res.Latency,
+					Source:  res.Source,
+					LLCMiss: res.LLCMiss,
+					Task:    task,
+					Core:    core,
+					Now:     t,
+				})
+				pgen = p.ConfigGen()
+				bound = p.AccessesUntilOverflow()
+			} else {
+				// ObserveCounted, unrolled so the Access record is only built
+				// when a PEBS record will actually be taken.
+				p.CountAccess(write, res.LLCMiss)
+				if p.WantSample(write, res.Latency, t) {
+					p.TakeSample(pmu.Access{
+						VA:      req.VA,
+						PA:      req.PA,
+						Write:   write,
+						Latency: res.Latency,
+						Source:  res.Source,
+						LLCMiss: res.LLCMiss,
+						Task:    task,
+						Core:    core,
+						Now:     t,
+					})
+				}
+				bound--
+				if g := p.ConfigGen(); g != pgen {
+					pgen = g
+					bound = p.AccessesUntilOverflow()
+				}
+			}
+			*now += res.Latency
+			r.LastLatency = res.Latency
+			r.HadMem = true
+			r.MemCycles += res.Latency
+			if write {
+				r.Stores++
+			} else {
+				r.Loads++
+			}
+			r.Executed++
+		}
+		if *now >= stopAt || *kgen != gen0 {
+			break
+		}
+	}
+	return r
+}
+
 // Flush performs CLFLUSH of pa, returning the latency charged to the core.
 func (s *System) Flush(pa uint64, now sim.Cycles) sim.Cycles {
 	lat, _ := s.Caches.Flush(pa, now)

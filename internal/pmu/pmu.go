@@ -186,6 +186,13 @@ type PMU struct {
 	dropped  uint64
 	onSample func(s Sample) // PMI hook: detectors charge per-sample cost here
 	fault    *pmuFault      // nil unless InjectFaults installed one
+	// watch counts events with an armed or in-flight (pending) overflow, so
+	// Observe can skip all overflow bookkeeping when nothing is watching.
+	watch int
+	// cfgGen increments whenever overflow configuration changes (arm, disarm,
+	// or a fire that disarms). Batched callers snapshot it to detect that a
+	// previously computed overflow bound went stale mid-run.
+	cfgGen uint64
 }
 
 // New creates a PMU. bufferCap bounds the PEBS buffer (a full buffer drops
@@ -210,14 +217,60 @@ func (p *PMU) Reset(e Event) { p.counts[e] = 0 }
 // ArmOverflow fires fn once when the counter for e has advanced by n more
 // events. Re-arm from inside fn for periodic interrupts.
 func (p *PMU) ArmOverflow(e Event, n uint64, fn func(now sim.Cycles)) {
+	if !p.watching(e) {
+		p.watch++
+	}
 	p.over[e] = overflow{armed: true, target: p.counts[e] + n, fn: fn}
+	p.cfgGen++
 }
 
 // DisarmOverflow cancels a pending overflow interrupt, including one whose
 // fault-delayed delivery is still in flight.
 func (p *PMU) DisarmOverflow(e Event) {
+	if p.watching(e) {
+		p.watch--
+	}
 	p.over[e].armed = false
 	p.over[e].pending = false
+	p.cfgGen++
+}
+
+func (p *PMU) watching(e Event) bool {
+	return p.over[e].armed || p.over[e].pending
+}
+
+// ConfigGen identifies the current overflow configuration; any arm, disarm,
+// or overflow delivery changes it. A batched caller that computed
+// AccessesUntilOverflow must abandon the bound when ConfigGen moves.
+func (p *PMU) ConfigGen() uint64 { return p.cfgGen }
+
+// AccessesUntilOverflow returns how many further memory accesses are
+// guaranteed not to deliver an overflow interrupt, no matter how the events
+// classify. Each access bumps any one counter at most once, so the bound is
+// min over armed counters of (target - count - 1). An in-flight delayed
+// interrupt can land on any bump, so a pending overflow bounds it to zero.
+// With nothing armed the bound is effectively unlimited.
+func (p *PMU) AccessesUntilOverflow() uint64 {
+	if p.watch == 0 {
+		return ^uint64(0)
+	}
+	bound := ^uint64(0)
+	for e := Event(0); e < numEvents; e++ {
+		o := &p.over[e]
+		if o.pending {
+			return 0
+		}
+		if !o.armed {
+			continue
+		}
+		if o.target <= p.counts[e]+1 {
+			return 0
+		}
+		if n := o.target - p.counts[e] - 1; n < bound {
+			bound = n
+		}
+	}
+	return bound
 }
 
 // InjectFaults installs a degradation model. Call at most once, before the
@@ -274,19 +327,24 @@ func (p *PMU) bump(e Event, now sim.Cycles) {
 	o := &p.over[e]
 	if o.pending && now >= o.fireAt {
 		o.pending = false
+		p.watch--
+		p.cfgGen++
 		o.fn(now)
 		return
 	}
 	if o.armed && p.counts[e] >= o.target {
 		o.armed = false
+		p.cfgGen++
 		if f := p.fault; f != nil && f.cfg.OverflowMaxDelay > 0 {
 			if delay := sim.Cycles(f.rng.Uint64n(uint64(f.cfg.OverflowMaxDelay) + 1)); delay > 0 {
+				// armed -> pending: still watching, only the bound changed.
 				o.pending = true
 				o.fireAt = now + delay
 				f.stats.DelayedOverflows++
 				return
 			}
 		}
+		p.watch--
 		o.fn(now)
 	}
 }
@@ -294,19 +352,79 @@ func (p *PMU) bump(e Event, now sim.Cycles) {
 // Observe feeds one memory access into the PMU. The memory system calls it
 // for every program load and store.
 func (p *PMU) Observe(a Access) {
-	if a.Write {
-		p.bump(EvStores, a.Now)
+	if p.watch == 0 {
+		// Nothing armed or in flight: plain counter increments, no overflow
+		// bookkeeping per event.
+		p.CountAccess(a.Write, a.LLCMiss)
 	} else {
-		p.bump(EvLoads, a.Now)
-	}
-	p.bump(EvLLCReference, a.Now)
-	if a.LLCMiss {
-		p.bump(EvLLCMiss, a.Now)
-		if !a.Write {
-			p.bump(EvLLCMissLoads, a.Now)
+		if a.Write {
+			p.bump(EvStores, a.Now)
+		} else {
+			p.bump(EvLoads, a.Now)
+		}
+		p.bump(EvLLCReference, a.Now)
+		if a.LLCMiss {
+			p.bump(EvLLCMiss, a.Now)
+			if !a.Write {
+				p.bump(EvLLCMissLoads, a.Now)
+			}
 		}
 	}
+	if p.WantSample(a.Write, a.Latency, a.Now) {
+		p.sample(a)
+	}
+}
 
+// ObserveCounted is Observe minus overflow delivery: counters advance and the
+// samplers run, but armed overflows are not checked. Only valid while the
+// caller holds an AccessesUntilOverflow budget (and ConfigGen is unchanged),
+// which guarantees no counter can reach its target on this access.
+func (p *PMU) ObserveCounted(a Access) {
+	p.CountAccess(a.Write, a.LLCMiss)
+	if p.WantSample(a.Write, a.Latency, a.Now) {
+		p.sample(a)
+	}
+}
+
+// CountAccess advances the event counters for one access (write/miss
+// classification) without overflow checks — the counter half of
+// ObserveCounted, split out and inlineable so batched callers can classify
+// first and build a full Access record only when WantSample says a PEBS
+// record will actually be taken.
+func (p *PMU) CountAccess(write, llcMiss bool) {
+	if write {
+		p.counts[EvStores]++
+	} else {
+		p.counts[EvLoads]++
+	}
+	p.counts[EvLLCReference]++
+	if llcMiss {
+		p.counts[EvLLCMiss]++
+		if !write {
+			p.counts[EvLLCMissLoads]++
+		}
+	}
+}
+
+// WantSample is an inlineable pre-filter for the PEBS tail: it restates
+// exactly the conditions under which sample() would reject the access without
+// mutating any state (sampler disabled, below the latency threshold, or
+// before the next sampling tick), so the common case skips the call.
+func (p *PMU) WantSample(write bool, latency, now sim.Cycles) bool {
+	if write {
+		return p.stores.cfg.Enabled && now >= p.stores.next
+	}
+	return p.loads.cfg.Enabled && latency >= p.loads.cfg.LatencyThreshold && now >= p.loads.next
+}
+
+// TakeSample runs the PEBS tail for an access that passed WantSample:
+// sampler decision, fault injection, buffering and the PMI hook. Calling it
+// when WantSample is false is also valid (the sampler re-rejects).
+func (p *PMU) TakeSample(a Access) { p.sample(a) }
+
+// sample runs the PEBS tail of Observe: sampler decision, fault injection,
+// buffering and the PMI hook.
+func (p *PMU) sample(a Access) {
 	var take bool
 	if a.Write {
 		take = p.stores.take(a.Now)

@@ -20,6 +20,11 @@ type Config struct {
 	// negative means GOMAXPROCS. Parallelism never changes results — only
 	// wall-clock time.
 	Parallel int
+	// StepBatch is forwarded to every Spec an experiment builds
+	// (Spec.StepBatch): 1 forces per-op stepping, larger values bound the
+	// batched inner loop, zero keeps the machine default. Never changes a
+	// reported number — only how the core schedules the same operations.
+	StepBatch int
 	// Timeout is the per-replicate wall-clock deadline of RunReplicates
 	// sweeps; zero means none. Like Parallel it never changes a reported
 	// number — a replicate either completes identically or fails.

@@ -159,6 +159,12 @@ type Spec struct {
 	// period (Instance.ECC reports corrected/uncorrectable words) —
 	// typically paired with Faults.DRAM transient-error rates.
 	ECCScrub time.Duration
+	// StepBatch overrides the machine's batch cap (machine.Config.BatchCap):
+	// 1 forces per-op stepping — the escape hatch for bisecting any suspected
+	// batched-vs-per-op divergence — and larger values bound the batched
+	// inner loop. Zero keeps the machine default. Like Parallel, it never
+	// changes a reported number, only how the core schedules the same ops.
+	StepBatch int
 	// Mutate is a last-resort hook over the assembled machine config,
 	// applied after every declarative field.
 	Mutate func(*machine.Config)
@@ -237,6 +243,9 @@ func Build(s Spec) (*Instance, error) {
 	}
 	if s.DisturbScale > 0 && s.DisturbScale != 1 {
 		cfg.Memory.DRAM.Disturb = cfg.Memory.DRAM.Disturb.Scaled(s.DisturbScale)
+	}
+	if s.StepBatch > 0 {
+		cfg.BatchCap = s.StepBatch
 	}
 	if s.Mutate != nil {
 		s.Mutate(&cfg)

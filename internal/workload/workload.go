@@ -189,13 +189,23 @@ type Synthetic struct {
 	// directly comparable across configurations.
 	opLimit uint64
 
-	memOps    uint64
-	phase     int // 0 = memory op next, 1 = compute op next
-	cold      int // countdown of hot accesses until the next cold access
+	// Generation-side state: everything that decides *which* operations the
+	// program produces. The batched machine pulls operations ahead of
+	// execution (NextRun), so none of this may be externally observable.
+	genMemOps uint64 // memory operations generated (drives bursts, opLimit)
+	phase     int    // 0 = memory op next, 1 = compute op next
+	cold      int    // countdown of hot accesses until the next cold access
 	streamPos uint64
 
 	coldOps    uint64 // cold accesses issued (drives region rotation)
 	regionBase uint64 // current active-region offset within the footprint
+
+	// Execution-side state: committed operations, the externally observable
+	// progress backing MemOps.
+	execMemOps uint64
+
+	pending   []machine.Op // generated but not yet committed operations
+	pendStart int          // committed prefix of pending
 }
 
 // New builds the synthetic program for a profile.
@@ -221,8 +231,10 @@ func (s *Synthetic) WithOpLimit(n uint64) *Synthetic {
 // Name implements machine.Program.
 func (s *Synthetic) Name() string { return s.prof.Name }
 
-// MemOps reports memory operations issued so far.
-func (s *Synthetic) MemOps() uint64 { return s.memOps }
+// MemOps reports memory operations executed so far (committed by the
+// machine; operations generated ahead by the batched path do not count
+// until they run).
+func (s *Synthetic) MemOps() uint64 { return s.execMemOps }
 
 // Init implements machine.Program: maps the hot buffer and the footprint.
 func (s *Synthetic) Init(p *machine.Proc) error {
@@ -238,7 +250,7 @@ func (s *Synthetic) inBurst() bool {
 	if s.prof.BurstPeriod == 0 {
 		return false
 	}
-	return s.memOps%s.prof.BurstPeriod < uint64(float64(s.prof.BurstPeriod)*s.prof.BurstFrac)
+	return s.genMemOps%s.prof.BurstPeriod < uint64(float64(s.prof.BurstPeriod)*s.prof.BurstFrac)
 }
 
 // coldAddr picks the next cache-missing address per the profile's pattern.
@@ -279,9 +291,11 @@ func (s *Synthetic) regionAddr() uint64 {
 	return coldBase + s.regionBase + s.rng.Uint64n(region/64)*64
 }
 
-// Next implements machine.Program.
-func (s *Synthetic) Next() machine.Op {
-	if s.opLimit > 0 && s.memOps >= s.opLimit {
+// gen produces the next operation of the generation stream, advancing only
+// generation-side state. The stream is identical whether operations are
+// pulled one at a time (Next) or in runs (NextRun).
+func (s *Synthetic) gen() machine.Op {
+	if s.opLimit > 0 && s.genMemOps >= s.opLimit {
 		return machine.Op{Kind: machine.OpDone}
 	}
 	if s.phase == 1 {
@@ -298,7 +312,7 @@ func (s *Synthetic) Next() machine.Op {
 		return machine.Op{Kind: machine.OpCompute, Cycles: sim.Cycles(jit)}
 	}
 	s.phase = 1
-	s.memOps++
+	s.genMemOps++
 	var va uint64
 	if s.cold <= 0 {
 		va = s.coldAddr()
@@ -314,4 +328,59 @@ func (s *Synthetic) Next() machine.Op {
 	return machine.Op{Kind: kind, VA: va}
 }
 
-var _ machine.Program = (*Synthetic)(nil)
+// commit records one operation as executed.
+func (s *Synthetic) commit(op machine.Op) {
+	if op.Kind == machine.OpLoad || op.Kind == machine.OpStore {
+		s.execMemOps++
+	}
+}
+
+// Next implements machine.Program: it drains the pregenerated buffer first
+// so per-op stepping after a partially executed batch view stays on the
+// exact same operation stream.
+func (s *Synthetic) Next() machine.Op {
+	if s.pendStart < len(s.pending) {
+		op := s.pending[s.pendStart]
+		s.pendStart++
+		if s.pendStart == len(s.pending) {
+			s.pending = s.pending[:0]
+			s.pendStart = 0
+		}
+		s.commit(op)
+		return op
+	}
+	op := s.gen()
+	s.commit(op)
+	return op
+}
+
+// NextRun implements machine.BatchProgram: it tops the pending buffer up to
+// max uncommitted operations (stopping at OpDone) and returns them. Nothing
+// commits until Advance.
+func (s *Synthetic) NextRun(max int) []machine.Op {
+	for len(s.pending)-s.pendStart < max {
+		if n := len(s.pending); n > s.pendStart && s.pending[n-1].Kind == machine.OpDone {
+			break
+		}
+		op := s.gen()
+		s.pending = append(s.pending, op)
+		if op.Kind == machine.OpDone {
+			break
+		}
+	}
+	return s.pending[s.pendStart:]
+}
+
+// Advance implements machine.BatchProgram.
+func (s *Synthetic) Advance(n int) {
+	for _, op := range s.pending[s.pendStart : s.pendStart+n] {
+		s.commit(op)
+	}
+	s.pendStart += n
+	if s.pendStart == len(s.pending) {
+		s.pending = s.pending[:0]
+		s.pendStart = 0
+	}
+}
+
+var _ machine.BatchProgram = (*Synthetic)(nil)
