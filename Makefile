@@ -3,7 +3,7 @@ GO ?= go
 # Packages with a BenchmarkHotPath microbenchmark of the per-access pipeline.
 BENCH_PKGS := ./internal/cache ./internal/pmu ./internal/dram ./internal/machine
 
-.PHONY: all build test race fuzz-smoke fault-smoke resume-smoke vet lint fmt check bench bench-smoke
+.PHONY: all build test race fuzz-smoke fault-smoke resume-smoke serve-smoke vet lint fmt check bench bench-smoke
 
 all: build test vet lint
 
@@ -45,6 +45,37 @@ resume-smoke:
 		-out /tmp/anvil-resume-smoke/resumed.json
 	diff /tmp/anvil-resume-smoke/golden.json /tmp/anvil-resume-smoke/resumed.json
 	@echo "resume-smoke: resumed run is byte-identical to the golden"
+
+# The crash-safe sweep service end to end. First the chaos harness under the
+# race detector: submit → kill -9 at a seeded replicate → restart →
+# byte-diff against an uninterrupted golden, plus the SIGTERM drain variant.
+# Then a live-binary smoke: boot anvilserved on an ephemeral port, submit a
+# registry experiment with curl, poll to completion, fetch the artifact, and
+# drain the server with SIGTERM.
+serve-smoke:
+	$(GO) test -race -run 'TestChaos' -v ./internal/sweepd
+	rm -rf /tmp/anvil-serve-smoke && mkdir -p /tmp/anvil-serve-smoke
+	$(GO) build -o /tmp/anvil-serve-smoke/anvilserved ./cmd/anvilserved
+	set -e; \
+	/tmp/anvil-serve-smoke/anvilserved -addr 127.0.0.1:0 \
+		-data /tmp/anvil-serve-smoke/data \
+		-portfile /tmp/anvil-serve-smoke/port & \
+	pid=$$!; trap 'kill $$pid 2>/dev/null' EXIT; \
+	for i in $$(seq 1 100); do \
+		[ -s /tmp/anvil-serve-smoke/port ] && break; sleep 0.1; done; \
+	addr=$$(cat /tmp/anvil-serve-smoke/port); \
+	id=$$(curl -sf -X POST "http://$$addr/v1/jobs" \
+		-d '{"experiment":"fault-matrix","quick":true,"seed":7}' \
+		| sed -n 's/.*"id": "\([^"]*\)".*/\1/p'); \
+	echo "serve-smoke: submitted $$id to $$addr"; \
+	for i in $$(seq 1 600); do \
+		code=$$(curl -s -o /tmp/anvil-serve-smoke/result.json \
+			-w '%{http_code}' "http://$$addr/v1/jobs/$$id/result"); \
+		[ "$$code" = 200 ] && break; [ "$$code" = 409 ] && exit 1; sleep 0.5; done; \
+	[ "$$code" = 200 ]; \
+	[ -s /tmp/anvil-serve-smoke/result.json ]; \
+	kill -TERM $$pid; trap - EXIT; wait $$pid
+	@echo "serve-smoke: artifact fetched and server drained cleanly"
 
 vet:
 	$(GO) vet ./...

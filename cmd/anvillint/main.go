@@ -60,18 +60,26 @@ var analyzers = []*lint.Analyzer{
 }
 
 func main() {
+	// The audited single exit: every mode — vet driver handshake, unit
+	// check, standalone run — reports its status as a code through here.
+	os.Exit(run(os.Args[1:]))
+}
+
+// run dispatches on the argument shape and returns the process exit code:
+// 0 clean, 1 findings, 2 usage or load failure.
+func run(args []string) int {
 	// go vet driver protocol: version handshake, flag discovery, then one
 	// invocation per package with a .cfg file as the only argument.
-	if len(os.Args) == 2 {
+	if len(args) == 1 {
 		switch {
-		case os.Args[1] == "-V=full":
+		case args[0] == "-V=full":
 			printVersion()
-			return
-		case os.Args[1] == "-flags":
+			return 0
+		case args[0] == "-flags":
 			fmt.Println("[]")
-			return
-		case strings.HasSuffix(os.Args[1], ".cfg"):
-			os.Exit(unitCheck(os.Args[1]))
+			return 0
+		case strings.HasSuffix(args[0], ".cfg"):
+			return unitCheck(args[0])
 		}
 	}
 
@@ -84,7 +92,7 @@ func main() {
 		for _, a := range analyzers {
 			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
 	enabled := analyzers
@@ -109,23 +117,23 @@ func main() {
 	loader, err := lint.NewLoader(".")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "anvillint:", err)
-		os.Exit(2)
+		return 2
 	}
 	pkgs, err := loader.LoadPatterns(patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "anvillint:", err)
-		os.Exit(2)
+		return 2
 	}
 	diags, err := lint.RunAnalyzers(pkgs, enabled)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "anvillint:", err)
-		os.Exit(2)
+		return 2
 	}
 
 	if *jsonFlag {
 		if err := writeJSON(os.Stdout, diags, relPath); err != nil {
 			fmt.Fprintln(os.Stderr, "anvillint:", err)
-			os.Exit(2)
+			return 2
 		}
 	} else {
 		for _, d := range diags {
@@ -135,8 +143,9 @@ func main() {
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "anvillint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // writeJSON renders diagnostics as a machine-readable array — one object

@@ -42,20 +42,33 @@ func main() {
 	)
 	flag.Parse()
 
-	stopProfiles, err := profiling.Start(*cpuProf, *memProf)
-	if err != nil {
+	// The audited single exit: profiling setup and the run itself both
+	// funnel their failures back here.
+	if err := profiledRun(*cpuProf, *memProf, *attackKind, *workloads, *defName,
+		*duration, *weakUnits, *seed, *stepBatch); err != nil {
 		log.Print(err)
 		os.Exit(1)
 	}
+}
 
-	runErr := run(*attackKind, *workloads, *defName, *duration, *weakUnits, *seed, *stepBatch)
-	if err := stopProfiles(); err != nil {
-		log.Print(err)
+// profiledRun brackets run with the optional CPU/heap profiles; a profile
+// teardown failure surfaces only when the run itself succeeded.
+func profiledRun(cpuProf, memProf, attackKind, workloads, defName string,
+	duration time.Duration, weakUnits float64, seed uint64, stepBatch int) (err error) {
+	stopProfiles, err := profiling.Start(cpuProf, memProf)
+	if err != nil {
+		return err
 	}
-	if runErr != nil {
-		log.Print(runErr)
-		os.Exit(1)
-	}
+	defer func() {
+		if stopErr := stopProfiles(); stopErr != nil {
+			if err == nil {
+				err = stopErr
+			} else {
+				log.Print(stopErr)
+			}
+		}
+	}()
+	return run(attackKind, workloads, defName, duration, weakUnits, seed, stepBatch)
 }
 
 func run(attackKind, workloads, defName string, duration time.Duration, weakUnits float64, seed uint64, stepBatch int) error {

@@ -104,19 +104,30 @@ func main() {
 		"guardrail `unit=ratio`: fail if any benchmark's current/baseline for that metric drops below ratio (repeatable)")
 	flag.Parse()
 	if *baseline == "" || *current == "" {
-		log.Fatal("both -baseline and -current are required")
+		fmt.Fprintln(os.Stderr, "benchreport: both -baseline and -current are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*baseline, *current, *out, guards); err != nil {
+		log.Print(err)
+		os.Exit(1)
+	}
+}
+
+// run is the audited single-exit body: every failure — parse errors and
+// guardrail violations alike — funnels back here as an error and leaves
+// through main's one os.Exit.
+func run(baseline, current, out string, guards minRatios) error {
+	before, err := parseFile(baseline)
+	if err != nil {
+		return err
+	}
+	after, err := parseFile(current)
+	if err != nil {
+		return err
 	}
 
-	before, err := parseFile(*baseline)
-	if err != nil {
-		log.Fatal(err)
-	}
-	after, err := parseFile(*current)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	rep := report{BaselineFile: *baseline, CurrentFile: *current}
+	rep := report{BaselineFile: baseline, CurrentFile: current}
 	var violations []string
 	for _, key := range unionKeys(before, after) {
 		pkg, name, _ := strings.Cut(key, " ")
@@ -154,26 +165,29 @@ func main() {
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	enc = append(enc, '\n')
-	if *out == "" {
-		os.Stdout.Write(enc)
-	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		log.Fatal(err)
+	if out == "" {
+		if _, err := os.Stdout.Write(enc); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(out, enc, 0o644); err != nil {
+		return err
 	}
 
 	if len(violations) > 0 {
-		for _, v := range violations {
+		for _, v := range violations[1:] {
 			log.Printf("guardrail violated: %s", v)
 		}
-		os.Exit(1)
+		return fmt.Errorf("guardrail violated: %s (%d violations total)", violations[0], len(violations))
 	}
-	for unit := range guards {
+	for _, unit := range sortedKeys(guards) {
 		if !guardCovered(rep.Entries, unit) {
-			log.Fatalf("guardrail %s=%g matched no benchmark present in both files", unit, guards[unit])
+			return fmt.Errorf("guardrail %s=%g matched no benchmark present in both files", unit, guards[unit])
 		}
 	}
+	return nil
 }
 
 // guardCovered reports whether any entry compared the given unit, so a

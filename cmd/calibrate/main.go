@@ -24,36 +24,47 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("calibrate: ")
-	if len(os.Args) > 1 && os.Args[1] == "fp" {
-		for _, prof := range workload.SPEC2006() {
-			fpProbe(prof, 4*time.Second)
-		}
-		return
+	if err := run(os.Args[1:]); err != nil {
+		log.Print(err)
+		os.Exit(1)
 	}
-	missRates()
+}
+
+// run is the audited single-exit body: every probe failure funnels back
+// here as an error and leaves through main's one os.Exit.
+func run(args []string) error {
+	if len(args) > 0 && args[0] == "fp" {
+		for _, prof := range workload.SPEC2006() {
+			if err := fpProbe(prof, 4*time.Second); err != nil {
+				return fmt.Errorf("%s: %w", prof.Name, err)
+			}
+		}
+		return nil
+	}
+	return missRates()
 }
 
 // missRates prints each profile's per-6ms LLC miss distribution.
-func missRates() {
+func missRates() error {
 	for _, prof := range workload.SPEC2006() {
 		cfg := machine.DefaultConfig()
 		cfg.Cores = 1
 		m, err := machine.New(cfg)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		prog, err := workload.New(prof)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if _, err := m.Spawn(0, prog); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		var rates []float64
 		last := uint64(0)
 		for i := 0; i < 50; i++ {
 			if err := m.Run(m.Time() + m.Freq.Cycles(6*time.Millisecond)); err != nil {
-				log.Fatal(err)
+				return err
 			}
 			cur := m.Mem.PMU.Read(pmu.EvLLCMiss)
 			rates = append(rates, float64(cur-last))
@@ -75,31 +86,32 @@ func missRates() {
 		fmt.Printf("%-12s avg=%6.0f min=%6.0f max=%6.0f cross=%d/50\n",
 			prof.Name, sum/50, min, max, cross)
 	}
+	return nil
 }
 
 // fpProbe runs one profile under ANVIL-baseline and reports crossing and
 // false-positive behaviour.
-func fpProbe(prof workload.Profile, dur time.Duration) {
+func fpProbe(prof workload.Profile, dur time.Duration) error {
 	cfg := machine.DefaultConfig()
 	cfg.Cores = 1
 	m, err := machine.New(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	prog, err := workload.New(prof)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if _, err := m.Spawn(0, prog); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	d, err := anvil.New(m, anvil.Baseline(), nil)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	d.Start()
 	if err := m.Run(m.Freq.Cycles(dur)); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	st := d.Stats()
 	hist := map[int]int{}
@@ -109,4 +121,5 @@ func fpProbe(prof workload.Profile, dur time.Duration) {
 	fmt.Printf("%-12s cross=%4.0f%% sampleWins=%3d rowPeaks=%v det/s=%.2f refr/s=%.2f\n",
 		prof.Name, 100*st.CrossingFraction(), len(st.WindowPeaks),
 		hist, float64(len(st.Detections))/dur.Seconds(), float64(st.Refreshes)/dur.Seconds())
+	return nil
 }

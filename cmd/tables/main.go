@@ -7,6 +7,7 @@
 //	tables [-quick] [-seed N] [-parallel N] [-timeout D] [-keep-going] [-only table1,table3,...]
 //	tables -journal DIR [-resume] [-max-retries N] [-budget 30s|200]
 //	tables -json [-out results.json]
+//	tables -submit URL [-api-key KEY]
 //	tables -list
 //	tables -validate results.json
 //
@@ -32,6 +33,12 @@
 // -json emits the structured results as a single JSON document on stdout
 // (or to -out), a trend-trackable artifact that -validate checks for
 // completeness.
+//
+// -submit URL runs nothing locally: each selected experiment is submitted
+// as a job to the anvilserved instance at URL, waited on, and its artifact
+// fetched into the same JSON document (so -validate works on served runs
+// too). Identical specs are answered from the server's result cache;
+// -api-key names the caller for the server's quota accounting.
 package main
 
 import (
@@ -50,6 +57,7 @@ import (
 	_ "repro/internal/experiments" // registers every table and figure
 	"repro/internal/profiling"
 	"repro/internal/scenario"
+	"repro/internal/sweepd"
 )
 
 // document is the -json artifact: the run's inputs and every experiment's
@@ -68,95 +76,136 @@ type namedResult struct {
 	Err string `json:"error,omitempty"`
 }
 
+// options carries every parsed flag into run.
+type options struct {
+	quick      bool
+	seed       uint64
+	parallel   int
+	stepBatch  int
+	only       string
+	timeout    time.Duration
+	keepGoing  bool
+	jsonOut    bool
+	outPath    string
+	journal    string
+	resume     bool
+	maxRetries int
+	budget     string
+	list       bool
+	validate   string
+	submit     string
+	apiKey     string
+	cpuProf    string
+	memProf    string
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tables: ")
-	var (
-		quick      = flag.Bool("quick", false, "shrink experiment durations")
-		seed       = flag.Uint64("seed", 0, "root seed for machine-level randomness (0 = calibrated defaults)")
-		parallel   = flag.Int("parallel", 0, "worker pool size for multi-replicate experiments (0 = GOMAXPROCS)")
-		stepBatch  = flag.Int("step-batch", 0, "machine batch cap: 1 forces per-op stepping (A/B escape hatch), 0 = default")
-		only       = flag.String("only", "", "comma-separated subset of experiments to run")
-		timeout    = flag.Duration("timeout", 0, "per-replicate wall-clock deadline (0 = none)")
-		keepGoing  = flag.Bool("keep-going", false, "record a failing experiment's error and continue")
-		jsonOut    = flag.Bool("json", false, "emit structured results as JSON instead of text tables")
-		outPath    = flag.String("out", "", "write the JSON document to this file (implies -json)")
-		journal    = flag.String("journal", "", "directory for sweep checkpoint journals (enables kill-and-resume)")
-		resume     = flag.Bool("resume", false, "resume completed replicates from existing -journal files")
-		maxRetries = flag.Int("max-retries", 0, "retry transiently-failed replicates up to N times with seeded backoff")
-		budget     = flag.String("budget", "", "per-sweep budget: a duration (wall-clock) or an integer (replicate count)")
-		list       = flag.Bool("list", false, "list registered experiments and exit")
-		validate   = flag.String("validate", "", "validate a -json artifact against the registry and exit")
-		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memProf    = flag.String("memprofile", "", "write a heap profile at exit to this file")
-	)
+	var o options
+	flag.BoolVar(&o.quick, "quick", false, "shrink experiment durations")
+	flag.Uint64Var(&o.seed, "seed", 0, "root seed for machine-level randomness (0 = calibrated defaults)")
+	flag.IntVar(&o.parallel, "parallel", 0, "worker pool size for multi-replicate experiments (0 = GOMAXPROCS)")
+	flag.IntVar(&o.stepBatch, "step-batch", 0, "machine batch cap: 1 forces per-op stepping (A/B escape hatch), 0 = default")
+	flag.StringVar(&o.only, "only", "", "comma-separated subset of experiments to run")
+	flag.DurationVar(&o.timeout, "timeout", 0, "per-replicate wall-clock deadline (0 = none)")
+	flag.BoolVar(&o.keepGoing, "keep-going", false, "record a failing experiment's error and continue")
+	flag.BoolVar(&o.jsonOut, "json", false, "emit structured results as JSON instead of text tables")
+	flag.StringVar(&o.outPath, "out", "", "write the JSON document to this file (implies -json)")
+	flag.StringVar(&o.journal, "journal", "", "directory for sweep checkpoint journals (enables kill-and-resume)")
+	flag.BoolVar(&o.resume, "resume", false, "resume completed replicates from existing -journal files")
+	flag.IntVar(&o.maxRetries, "max-retries", 0, "retry transiently-failed replicates up to N times with seeded backoff")
+	flag.StringVar(&o.budget, "budget", "", "per-sweep budget: a duration (wall-clock) or an integer (replicate count)")
+	flag.BoolVar(&o.list, "list", false, "list registered experiments and exit")
+	flag.StringVar(&o.validate, "validate", "", "validate a -json artifact against the registry and exit")
+	flag.StringVar(&o.submit, "submit", "", "submit experiments to the anvilserved instance at this base URL instead of running locally (implies -json)")
+	flag.StringVar(&o.apiKey, "api-key", "", "caller identity for -submit quota accounting")
+	flag.StringVar(&o.cpuProf, "cpuprofile", "", "write a CPU profile of the run to this file")
+	flag.StringVar(&o.memProf, "memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
-	stopProfiles, err := profiling.Start(*cpuProf, *memProf)
+	if err := run(o); err != nil {
+		log.Print(err)
+		os.Exit(1)
+	}
+}
+
+// run is the audited single-exit body: every failure funnels back here as
+// an error and leaves through main's one os.Exit.
+func run(o options) (err error) {
+	stopProfiles, err := profiling.Start(o.cpuProf, o.memProf)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer func() {
-		if err := stopProfiles(); err != nil {
-			log.Print(err)
+		if perr := stopProfiles(); perr != nil && err == nil {
+			err = perr
 		}
 	}()
 
-	if *list {
-		fmt.Print(listText(*quick))
-		return
+	if o.list {
+		fmt.Print(listText(o.quick))
+		return nil
 	}
-	if *validate != "" {
-		if err := validateArtifact(*validate); err != nil {
-			log.Fatal(err)
+	if o.validate != "" {
+		if err := validateArtifact(o.validate); err != nil {
+			return err
 		}
-		fmt.Printf("%s: valid, covers all %d registered experiments\n", *validate, len(scenario.Names()))
-		return
+		fmt.Printf("%s: valid, covers all %d registered experiments\n", o.validate, len(scenario.Names()))
+		return nil
 	}
-
-	if *resume && *journal == "" {
-		log.Fatal("-resume needs -journal: there is no journal directory to resume from")
+	if o.resume && o.journal == "" {
+		return fmt.Errorf("-resume needs -journal: there is no journal directory to resume from")
 	}
-	sweepBudget, err := parseBudget(*budget)
+	sweepBudget, err := parseBudget(o.budget)
 	if err != nil {
-		log.Fatal(err)
-	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	cfg := scenario.Config{
-		Quick:      *quick,
-		Seed:       *seed,
-		Parallel:   *parallel,
-		StepBatch:  *stepBatch,
-		Timeout:    *timeout,
-		KeepGoing:  *keepGoing,
-		MaxRetries: *maxRetries,
-		Budget:     sweepBudget,
-		Ctx:        ctx,
+		return err
 	}
 	selected := map[string]bool{}
-	for _, s := range strings.Split(*only, ",") {
+	for _, s := range strings.Split(o.only, ",") {
 		if s = strings.TrimSpace(s); s != "" {
 			if _, ok := scenario.Find(s); !ok {
-				log.Fatalf("unknown experiment %q (known: %s)", s, strings.Join(scenario.Names(), ", "))
+				return fmt.Errorf("unknown experiment %q (known: %s)", s, strings.Join(scenario.Names(), ", "))
 			}
 			selected[s] = true
 		}
 	}
 	want := func(name string) bool { return len(selected) == 0 || selected[name] }
-	asJSON := *jsonOut || *outPath != ""
 
-	doc := document{Quick: *quick, Seed: *seed}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if o.submit != "" {
+		return runSubmitted(ctx, o, sweepBudget, want)
+	}
+	return runLocal(ctx, o, sweepBudget, want)
+}
+
+// runLocal regenerates the selected experiments in-process.
+func runLocal(ctx context.Context, o options, sweepBudget scenario.Budget, want func(string) bool) error {
+	cfg := scenario.Config{
+		Quick:      o.quick,
+		Seed:       o.seed,
+		Parallel:   o.parallel,
+		StepBatch:  o.stepBatch,
+		Timeout:    o.timeout,
+		KeepGoing:  o.keepGoing,
+		MaxRetries: o.maxRetries,
+		Budget:     sweepBudget,
+		Ctx:        ctx,
+	}
+	asJSON := o.jsonOut || o.outPath != ""
+
+	doc := document{Quick: o.quick, Seed: o.seed}
 	for _, e := range scenario.Experiments() {
 		if !want(e.Name) {
 			continue
 		}
 		ecfg := cfg
-		if *journal != "" {
+		if o.journal != "" {
 			// Each experiment journals under its own name; the journaled
 			// Config owns a fresh per-run sweep sequence.
-			ecfg = cfg.WithJournal(*journal, *resume)
+			ecfg = cfg.WithJournal(o.journal, o.resume)
 			ecfg.Sweep = e.Name
 		}
 		start := time.Now() //lint:allow detrand host-side CLI timing how long table regeneration takes
@@ -167,13 +216,13 @@ func main() {
 				// starting the next experiment — every sweep it runs would
 				// be stillborn. With a journal the finished replicates are
 				// already checkpointed.
-				if *journal != "" {
-					log.Fatalf("%s interrupted: %v\ncheckpoints saved under %s; rerun with -journal %s -resume to continue", e.Name, err, *journal, *journal)
+				if o.journal != "" {
+					return fmt.Errorf("%s interrupted: %w\ncheckpoints saved under %s; rerun with -journal %s -resume to continue", e.Name, err, o.journal, o.journal)
 				}
-				log.Fatalf("%s interrupted: %v", e.Name, err)
+				return fmt.Errorf("%s interrupted: %w", e.Name, err)
 			}
-			if !*keepGoing {
-				log.Fatalf("%s failed: %v", e.Name, err)
+			if !o.keepGoing {
+				return fmt.Errorf("%s failed: %w", e.Name, err)
 			}
 			log.Printf("%s failed (continuing): %v", e.Name, err)
 			if asJSON {
@@ -186,7 +235,7 @@ func main() {
 		if asJSON {
 			data, err := json.Marshal(res)
 			if err != nil {
-				log.Fatalf("%s: marshal: %v", e.Name, err)
+				return fmt.Errorf("%s: marshal: %w", e.Name, err)
 			}
 			nr := namedResult{Name: e.Name, Data: data}
 			if m, ok := res.(scenario.Metricer); ok {
@@ -199,21 +248,82 @@ func main() {
 			fmt.Printf("  [%s regenerated in %.1fs]\n\n", e.Name, elapsed)
 		}
 	}
-
 	if asJSON {
-		enc, err := json.MarshalIndent(doc, "", "  ")
-		if err != nil {
-			log.Fatal(err)
-		}
-		enc = append(enc, '\n')
-		if *outPath != "" {
-			if err := os.WriteFile(*outPath, enc, 0o644); err != nil {
-				log.Fatal(err)
-			}
-		} else {
-			os.Stdout.Write(enc)
-		}
+		return writeDocument(doc, o.outPath)
 	}
+	return nil
+}
+
+// runSubmitted hands the selected experiments to an anvilserved instance:
+// submit, wait, fetch each artifact into the document. The server resumes
+// and caches on its side; identical re-runs are answered without
+// re-simulating anything.
+func runSubmitted(ctx context.Context, o options, sweepBudget scenario.Budget, want func(string) bool) error {
+	if o.journal != "" || o.resume {
+		return fmt.Errorf("-journal/-resume are local-run flags; the server journals every job on its own data directory")
+	}
+	if sweepBudget.WallClock > 0 {
+		return fmt.Errorf("-budget %v: wall-clock budgets are not supported with -submit (they are not content-addressable); use a replicate count or the server's -quota-wall", sweepBudget.WallClock)
+	}
+	client := &sweepd.Client{Base: o.submit, APIKey: o.apiKey}
+
+	doc := document{Quick: o.quick, Seed: o.seed}
+	for _, e := range scenario.Experiments() {
+		if !want(e.Name) {
+			continue
+		}
+		spec := sweepd.JobSpec{
+			Experiment:       e.Name,
+			Quick:            o.quick,
+			Seed:             o.seed,
+			BudgetReplicates: sweepBudget.Replicates,
+			TimeoutMS:        o.timeout.Milliseconds(),
+		}
+		st, err := client.Submit(ctx, spec)
+		if err != nil {
+			return fmt.Errorf("%s: submitting: %w", e.Name, err)
+		}
+		how := "queued"
+		switch {
+		case st.Cached:
+			how = "served from cache"
+		case st.Deduped:
+			how = "coalesced onto a live job"
+		}
+		log.Printf("%s: job %s %s", e.Name, st.ID, how)
+		data, err := client.FetchResult(ctx, st.ID, 0)
+		if err != nil {
+			if ctx.Err() != nil {
+				return fmt.Errorf("%s interrupted: %w\njob %s keeps running on the server; rerun -submit to pick up its result", e.Name, err, st.ID)
+			}
+			if !o.keepGoing {
+				return fmt.Errorf("%s: %w", e.Name, err)
+			}
+			log.Printf("%s failed (continuing): %v", e.Name, err)
+			doc.Results = append(doc.Results, namedResult{Name: e.Name, Err: err.Error()})
+			continue
+		}
+		var art sweepd.Artifact
+		if err := json.Unmarshal(data, &art); err != nil {
+			return fmt.Errorf("%s: decoding artifact for job %s: %w", e.Name, st.ID, err)
+		}
+		doc.Results = append(doc.Results, namedResult{Name: e.Name, Data: art.Data, Metrics: art.Metrics})
+	}
+	return writeDocument(doc, o.outPath)
+}
+
+// writeDocument emits the JSON artifact to outPath or stdout.
+func writeDocument(doc document, outPath string) error {
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if outPath != "" {
+		return os.WriteFile(outPath, enc, 0o644)
+	}
+	_, err = os.Stdout.Write(enc)
+	return err
 }
 
 // listText renders the -list table: every registered experiment with its

@@ -39,22 +39,21 @@ func main() {
 	)
 	flag.Parse()
 
-	if *demo {
-		emitDemo()
-		return
-	}
-	if *record != "" {
-		if err := recordProfile(*record, *ops); err != nil {
-			log.Print(err)
-			os.Exit(1)
-		}
-		return
-	}
-	if *file == "" {
+	if !*demo && *record == "" && *file == "" {
 		log.Print("need -file (or -demo)")
 		os.Exit(2)
 	}
-	if err := run(*file, *loops, *useANVIL, *detailed, *maxMS); err != nil {
+	// The audited single exit: every mode funnels its failure back here.
+	var err error
+	switch {
+	case *demo:
+		err = emitDemo()
+	case *record != "":
+		err = recordProfile(*record, *ops)
+	default:
+		err = run(*file, *loops, *useANVIL, *detailed, *maxMS)
+	}
+	if err != nil {
 		log.Print(err)
 		os.Exit(1)
 	}
@@ -127,7 +126,7 @@ func max(a, b uint64) uint64 {
 }
 
 // emitDemo writes a small trace that thrashes one DRAM row pair.
-func emitDemo() {
+func emitDemo() error {
 	var recs []workload.Record
 	for i := 0; i < 64; i++ {
 		recs = append(recs,
@@ -136,9 +135,7 @@ func emitDemo() {
 			workload.Record{Kind: machine.OpLoad, VA: 0x40_0000 + uint64(i)*4096},
 		)
 	}
-	if err := workload.FormatTrace(os.Stdout, recs); err != nil {
-		log.Fatal(err)
-	}
+	return workload.FormatTrace(os.Stdout, recs)
 }
 
 // recordProfile runs a synthetic profile and prints its operation stream.

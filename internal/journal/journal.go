@@ -41,6 +41,13 @@ const DefaultSyncEvery = 8
 // implausible length. errors.Is(err, ErrCorrupt) identifies it.
 var ErrCorrupt = errors.New("journal: corrupt frame")
 
+// ErrLocked marks a journal whose file another handle holds open for
+// writing. Create and Recover take an exclusive advisory lock for the life
+// of their Writer, so recovering a live journal fails loudly with this
+// error instead of truncating records a concurrent writer is still
+// appending. errors.Is(err, ErrLocked) identifies it.
+var ErrLocked = errors.New("journal: file locked by another writer")
+
 // castagnoli is the CRC-32C table shared by writers and readers.
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
@@ -62,10 +69,15 @@ type Writer struct {
 }
 
 // Create starts a fresh journal at path, failing if one already exists
-// (resuming an existing file goes through Recover instead).
+// (resuming an existing file goes through Recover instead). The Writer
+// holds an exclusive file lock until Close.
 func Create(path string) (*Writer, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
+		return nil, err
+	}
+	if err := lockFile(f); err != nil {
+		f.Close()
 		return nil, err
 	}
 	if _, err := f.Write([]byte(magic)); err != nil {
@@ -204,10 +216,16 @@ func (rd *Reader) Offset() int64 { return rd.off }
 // record, truncates any torn or corrupt tail, and returns the records
 // alongside a Writer positioned at the new end. An empty (or torn-header)
 // file is rewound to a fresh journal with zero records. A file with foreign
-// magic is refused.
+// magic is refused. A file whose exclusive lock another Writer still holds
+// is refused with ErrLocked before a single byte is read or truncated —
+// recovery either owns the file or fails loudly, never shortens live data.
 func Recover(path string) ([][]byte, *Writer, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
+		return nil, nil, err
+	}
+	if err := lockFile(f); err != nil {
+		f.Close()
 		return nil, nil, err
 	}
 	rd, err := NewReader(f)

@@ -264,3 +264,92 @@ func TestSyncBatching(t *testing.T) {
 		t.Errorf("recovered %d records, want 7", len(got))
 	}
 }
+
+// TestRecoverRefusesLiveWriter is the concurrent-handle contract: recovering
+// a journal while another Writer still holds the file open must fail loudly
+// with the typed ErrLocked — never silently truncate data the live writer is
+// about to append behind — and must leave every record intact for the
+// recovery that runs after the writer closes.
+func TestRecoverRefusesLiveWriter(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "live.jnl")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := sampleRecords()
+	for _, r := range records[:2] {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery against the live handle: typed refusal, nothing touched.
+	if _, _, err := Recover(path); !errors.Is(err, ErrLocked) {
+		t.Fatalf("Recover with a live writer: err = %v, want ErrLocked", err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The live writer keeps working after the refused recovery.
+	if err := w.Append(records[2]); err != nil {
+		t.Fatalf("live writer broken after refused recovery: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) <= len(before) {
+		t.Fatalf("file did not grow after refused recovery: %d -> %d bytes", len(before), len(after))
+	}
+
+	// With the writer closed, recovery owns the lock and sees every record.
+	got, w2, err := Recover(path)
+	if err != nil {
+		t.Fatalf("Recover after writer close: %v", err)
+	}
+	defer w2.Close()
+	want := records[:3] // the writer appended records 0, 1, and 2
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("record %d: got %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRecoverRefusesConcurrentRecover: the Writer a successful recovery
+// returns holds the same exclusive lock, so a second recovery of the same
+// path is refused until the first closes.
+func TestRecoverRefusesConcurrentRecover(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "double.jnl")
+	writeAll(t, path, sampleRecords())
+
+	_, w1, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Recover(path); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second concurrent Recover: err = %v, want ErrLocked", err)
+	}
+	if err := w1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, w2, err := Recover(path)
+	if err != nil {
+		t.Fatalf("Recover after first recovery closed: %v", err)
+	}
+	defer w2.Close()
+	if len(got) != len(sampleRecords()) {
+		t.Fatalf("recovered %d records, want %d", len(got), len(sampleRecords()))
+	}
+}

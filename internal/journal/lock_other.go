@@ -1,0 +1,10 @@
+//go:build !unix
+
+package journal
+
+import "os"
+
+// lockFile is a no-op on platforms without flock semantics: single-writer
+// discipline is then the caller's responsibility, exactly as it was before
+// locking existed. Unix builds get the real exclusion (see lock_unix.go).
+func lockFile(*os.File) error { return nil }

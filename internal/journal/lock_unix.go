@@ -1,0 +1,26 @@
+//go:build unix
+
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockFile takes an exclusive, non-blocking advisory lock on f. The lock
+// lives on the open file description: it dies with the process (so a
+// SIGKILL'd writer never wedges recovery) and is released by Close. A
+// conflicting holder yields ErrLocked, the typed refusal Recover surfaces
+// instead of truncating a file another handle is still appending to.
+func lockFile(f *os.File) error {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if errors.Is(err, syscall.EWOULDBLOCK) || errors.Is(err, syscall.EAGAIN) {
+		return fmt.Errorf("%w: %s", ErrLocked, f.Name())
+	}
+	if err != nil {
+		return fmt.Errorf("journal: locking %s: %w", f.Name(), err)
+	}
+	return nil
+}

@@ -8,5 +8,5 @@ import (
 )
 
 func TestErrpanic(t *testing.T) {
-	linttest.Run(t, "testdata", errpanic.Analyzer, "a")
+	linttest.Run(t, "testdata", errpanic.Analyzer, "a", "sweepd")
 }

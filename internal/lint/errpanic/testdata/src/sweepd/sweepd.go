@@ -1,0 +1,63 @@
+// Package sweepd mirrors internal/sweepd for the errpanic fixtures: a
+// host-zone service package whose daemon paths may exit the process, but
+// whose spec-hashing/validation core opts back into the deterministic zone
+// per function and must keep returning errors.
+//
+//lint:zone host
+package sweepd
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+// Serve is a host-zone API: process-fatal error handling is its job, so the
+// analyzer stays quiet here.
+func Serve(addr string) {
+	if addr == "" {
+		log.Fatal("no listen address") // no finding: host zone
+	}
+}
+
+// Shutdown exits directly; still host zone, still no finding.
+func Shutdown(code int) {
+	os.Exit(code)
+}
+
+// HashSpec is the per-function opt-in: the content-addressing path must be a
+// pure function of the spec, so a reachable panic is a defect.
+//
+//lint:zone deterministic
+func HashSpec(experiment string) string {
+	if experiment == "" {
+		panic("empty experiment") // want `panic is reachable from exported deterministic-zone API HashSpec; return an error instead`
+	}
+	return "h-" + experiment
+}
+
+// ValidateSpec reaches a panic through a helper that inherits the package's
+// host zone — the tainted edge is the finding, not the helper body.
+//
+//lint:zone deterministic
+func ValidateSpec(reps int) error {
+	checkReps(reps) // want `call to checkReps may panic \(sweepd\.go:\d+\); exported deterministic-zone API ValidateSpec must return errors, not panic`
+	return nil
+}
+
+func checkReps(reps int) {
+	if reps < 0 {
+		panic("negative replicate budget")
+	}
+}
+
+// CacheKey returns errors the boring way; the deterministic override alone
+// produces no findings.
+//
+//lint:zone deterministic
+func CacheKey(experiment string, seed uint64) (string, error) {
+	if experiment == "" {
+		return "", fmt.Errorf("sweepd: empty experiment")
+	}
+	return fmt.Sprintf("%s-%d", experiment, seed), nil
+}

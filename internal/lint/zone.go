@@ -61,6 +61,7 @@ var DefaultZones = map[string]Zone{
 	"internal/pmu":      ZoneDeterministic,
 	"internal/scenario": ZoneDeterministic,
 	"internal/sim":      ZoneDeterministic,
+	"internal/sweepd":   ZoneHost,
 	"internal/vm":       ZoneDeterministic,
 	"internal/workload": ZoneDeterministic,
 }

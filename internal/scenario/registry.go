@@ -53,6 +53,10 @@ type Config struct {
 	// Ctx, when non-nil, cancels RunReplicates sweeps early (cmd/tables
 	// wires it to signal handling; nil means context.Background()).
 	Ctx context.Context
+	// OnProgress, when non-nil, observes every replicate a sweep completes
+	// or resumes (see Options.OnProgress). cmd/anvilserved wires it to job
+	// progress streaming; observation never changes results.
+	OnProgress func(ProgressEvent)
 
 	// sweepSeq numbers the journaled sweeps of one experiment run in call
 	// order, which is deterministic, so a resumed run opens the same files.
@@ -87,6 +91,7 @@ func (c Config) RunOptions() Options {
 		MaxRetries: c.MaxRetries,
 		Budget:     c.Budget,
 		BaseSeed:   c.Seed,
+		OnProgress: c.OnProgress,
 	}
 }
 

@@ -98,6 +98,23 @@ type Budget struct {
 // IsZero reports whether the budget is unlimited.
 func (b Budget) IsZero() bool { return b == Budget{} }
 
+// A ProgressEvent reports one replicate of a sweep reaching its result slot:
+// either freshly computed (and journaled, when the sweep journals) or merged
+// back out of a resume journal. Events exist so a long sweep can be watched
+// from outside — cmd/anvilserved streams them as job progress — and carry no
+// information that feeds back into any replicate: observing a sweep can
+// never change its bytes.
+type ProgressEvent struct {
+	// Rep is the replicate index that completed.
+	Rep int
+	// Resumed marks a replicate merged from the journal instead of run.
+	Resumed bool
+	// Completed counts replicates completed so far (resumed included);
+	// Total is the sweep size. Completed == Total on the sweep's last event.
+	Completed int
+	Total     int
+}
+
 // Options tunes a RunSweep / RunManyCtx sweep. The zero value reproduces the
 // classic runner exactly: no journal, no retries, no budget.
 type Options struct {
@@ -137,6 +154,13 @@ type Options struct {
 	Resume bool
 	// Budget bounds the sweep; see Budget.
 	Budget Budget
+	// OnProgress, when non-nil, is invoked once per replicate that reaches
+	// its result slot — resumed replicates first (in ascending order, before
+	// any worker starts), then computed ones as they finish. It is called
+	// from worker goroutines and must be safe for concurrent use; it must
+	// not block, or it stalls the sweep. Progress observation never
+	// influences replicate results.
+	OnProgress func(ProgressEvent)
 }
 
 // SweepStatus reports how a sweep ended beyond its per-replicate failures.
@@ -293,6 +317,21 @@ func RunSweep[T any](ctx context.Context, n int, opts Options, fn func(ctx conte
 	errs := make([]*ReplicateError, n)
 	skip := make([]bool, n)
 
+	// completed backs the OnProgress event counter; progress is
+	// observation-only and never read by the sweep itself.
+	var completed atomic.Int64
+	notify := func(rep int, resumed bool) {
+		if opts.OnProgress == nil {
+			return
+		}
+		opts.OnProgress(ProgressEvent{
+			Rep:       rep,
+			Resumed:   resumed,
+			Completed: int(completed.Add(1)),
+			Total:     n,
+		})
+	}
+
 	if opts.Journal != nil && opts.Resume {
 		reps, results := opts.Journal.Completed()
 		for _, rep := range reps {
@@ -307,6 +346,7 @@ func RunSweep[T any](ctx context.Context, n int, opts Options, fn func(ctx conte
 			out[rep] = v
 			skip[rep] = true
 			status.Resumed++
+			notify(rep, true)
 		}
 	}
 
@@ -424,8 +464,10 @@ func RunSweep[T any](ctx context.Context, n int, opts Options, fn func(ctx conte
 						// failure: resuming would silently re-run this
 						// replicate at best, corrupt the journal at worst.
 						errs[rep] = &ReplicateError{Rep: rep, Err: fmt.Errorf("journaling result: %w", err), Attempts: attempt}
+						return
 					}
 				}
+				notify(rep, false)
 				return
 			}
 			rerr.Attempts = attempt

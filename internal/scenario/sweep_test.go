@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -433,5 +434,107 @@ func TestRunReplicatesSweepJournalsUnderConfig(t *testing.T) {
 	}
 	if !reflect.DeepEqual(out1, out2) {
 		t.Errorf("journaled Config resume differs")
+	}
+}
+
+// TestProgressEventsCoverEverySlot asserts the OnProgress stream: one event
+// per replicate, Completed strictly climbing to Total, no event influencing
+// results.
+func TestProgressEventsCoverEverySlot(t *testing.T) {
+	const n = 8
+	var mu sync.Mutex
+	var events []ProgressEvent
+	out, status, err := RunSweep(context.Background(), n,
+		Options{Workers: 3, OnProgress: func(ev ProgressEvent) {
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+		}},
+		func(_ context.Context, rep int) (sweepResult, error) {
+			return makeResult(11, rep), nil
+		})
+	if err != nil || status.Resumed != 0 {
+		t.Fatalf("sweep: err=%v status=%+v", err, status)
+	}
+	if len(out) != n || len(events) != n {
+		t.Fatalf("got %d results, %d events, want %d of each", len(out), len(events), n)
+	}
+	seenRep := map[int]bool{}
+	seenCompleted := map[int]bool{}
+	for _, ev := range events {
+		if ev.Resumed {
+			t.Errorf("event for replicate %d marked resumed on a fresh sweep", ev.Rep)
+		}
+		if ev.Total != n {
+			t.Errorf("event Total = %d, want %d", ev.Total, n)
+		}
+		if seenRep[ev.Rep] {
+			t.Errorf("replicate %d reported twice", ev.Rep)
+		}
+		seenRep[ev.Rep] = true
+		seenCompleted[ev.Completed] = true
+	}
+	for c := 1; c <= n; c++ {
+		if !seenCompleted[c] {
+			t.Errorf("no event carried Completed = %d", c)
+		}
+	}
+}
+
+// TestProgressEventsMarkResumedReplicates asserts that a resumed sweep
+// reports journal-merged replicates as Resumed events (before any worker
+// runs) and freshly-computed ones as live events, still covering every slot.
+func TestProgressEventsMarkResumedReplicates(t *testing.T) {
+	const n = 6
+	path := filepath.Join(t.TempDir(), "progress-0.jnl")
+	meta := testMeta(n)
+	j, err := OpenJournal(path, meta, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First run journals only replicates 0 and 1 (replicate budget 2).
+	_, status, err := RunSweep(context.Background(), n,
+		Options{Workers: 1, Journal: j, Budget: Budget{Replicates: 2}},
+		func(_ context.Context, rep int) (sweepResult, error) {
+			return makeResult(meta.BaseSeed, rep), nil
+		})
+	if err != nil || !status.Truncated {
+		t.Fatalf("truncated run: err=%v status=%+v", err, status)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path, meta, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	var mu sync.Mutex
+	var resumed, fresh []int
+	_, status2, err := RunSweep(context.Background(), n,
+		Options{Workers: 2, Journal: j2, Resume: true, OnProgress: func(ev ProgressEvent) {
+			mu.Lock()
+			defer mu.Unlock()
+			if ev.Resumed {
+				resumed = append(resumed, ev.Rep)
+			} else {
+				fresh = append(fresh, ev.Rep)
+			}
+		}},
+		func(_ context.Context, rep int) (sweepResult, error) {
+			return makeResult(meta.BaseSeed, rep), nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status2.Resumed != 2 {
+		t.Fatalf("Resumed = %d, want 2", status2.Resumed)
+	}
+	if !reflect.DeepEqual(resumed, []int{0, 1}) {
+		t.Errorf("resumed events = %v, want [0 1] in ascending order", resumed)
+	}
+	if len(fresh) != n-2 {
+		t.Errorf("fresh events = %v, want the remaining %d replicates", fresh, n-2)
 	}
 }

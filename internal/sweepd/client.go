@@ -1,0 +1,209 @@
+package sweepd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// A StatusError is a non-2xx API response, carrying the HTTP code so
+// callers can branch on admission outcomes (429 quota/queue-full, 503
+// draining) without string matching.
+type StatusError struct {
+	Code    int
+	Message string
+	// RetryAfter is the server's Retry-After hint, when present.
+	RetryAfter time.Duration
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("sweepd: server returned %d: %s", e.Code, e.Message)
+}
+
+// A Client talks to one anvilserved instance.
+type Client struct {
+	// Base is the server URL ("http://127.0.0.1:8080").
+	Base string
+	// APIKey identifies the caller for quota accounting; empty means
+	// "anonymous".
+	APIKey string
+	// HTTPClient overrides http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues one request and decodes a JSON body into out (when non-nil).
+// Non-2xx responses come back as *StatusError.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("sweepd: encoding request: %w", err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, strings.TrimRight(c.Base, "/")+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.APIKey != "" {
+		req.Header.Set("X-API-Key", c.APIKey)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return statusError(resp, raw)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return fmt.Errorf("sweepd: decoding %s %s response: %w", method, path, err)
+		}
+	}
+	return nil
+}
+
+// statusError builds the typed error for a non-2xx response.
+func statusError(resp *http.Response, raw []byte) *StatusError {
+	msg := strings.TrimSpace(string(raw))
+	var body apiError
+	if err := json.Unmarshal(raw, &body); err == nil && body.Error != "" {
+		msg = body.Error
+	}
+	e := &StatusError{Code: resp.StatusCode, Message: msg}
+	if d, ok := RetryAfter(resp.Header); ok {
+		e.RetryAfter = d
+	}
+	return e
+}
+
+// Submit submits a job spec and returns the acknowledged (or cached, or
+// deduplicated) job status.
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &st)
+	return st, err
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Quota fetches the caller's charged usage.
+func (c *Client) Quota(ctx context.Context) (QuotaStatus, error) {
+	var q QuotaStatus
+	err := c.do(ctx, http.MethodGet, "/v1/quota", nil, &q)
+	return q, err
+}
+
+// Result fetches a finished job's artifact bytes. A job that is not ready —
+// still queued/running, or re-queued for recompute after a corrupt artifact
+// read — returns (nil, status, nil); a failed job returns a *StatusError.
+func (c *Client) Result(ctx context.Context, id string) ([]byte, JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimRight(c.Base, "/")+"/v1/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, JobStatus{}, err
+	}
+	if c.APIKey != "" {
+		req.Header.Set("X-API-Key", c.APIKey)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, JobStatus{}, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return raw, JobStatus{ID: id, State: JobState(resp.Header.Get("X-Job-State"))}, nil
+	case http.StatusAccepted:
+		var st JobStatus
+		if err := json.Unmarshal(raw, &st); err != nil {
+			return nil, JobStatus{}, fmt.Errorf("sweepd: decoding pending result status: %w", err)
+		}
+		return nil, st, nil
+	default:
+		return nil, JobStatus{}, statusError(resp, raw)
+	}
+}
+
+// DefaultPoll is the Wait polling interval when none is given.
+const DefaultPoll = 50 * time.Millisecond
+
+// Wait polls a job until it reaches a terminal state (or ctx expires).
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobStatus, error) {
+	if poll <= 0 {
+		poll = DefaultPoll
+	}
+	//lint:allow detrand client-side polling cadence is host wall-clock by definition
+	tick := time.NewTicker(poll)
+	defer tick.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// FetchResult waits for a job and returns its artifact bytes, riding
+// through corrupt-artifact recomputes (each 202 re-enters the wait loop).
+func (c *Client) FetchResult(ctx context.Context, id string, poll time.Duration) ([]byte, error) {
+	for {
+		st, err := c.Wait(ctx, id, poll)
+		if err != nil {
+			return nil, err
+		}
+		if st.State == StateFailed {
+			return nil, fmt.Errorf("sweepd: job %s failed: %s", id, st.Error)
+		}
+		data, pending, err := c.Result(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if data != nil {
+			return data, nil
+		}
+		// Re-queued for recompute; wait again.
+		_ = pending
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package sweepd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+)
+
+// DefaultDrainTimeout bounds the graceful drain when Daemon.DrainTimeout is
+// zero.
+const DefaultDrainTimeout = 30 * time.Second
+
+// A Daemon couples a Server to a TCP listener and a context-driven graceful
+// drain: cmd/anvilserved wires ctx to SIGTERM/SIGINT, the chaos harness
+// drives the same loop in a subprocess. Run blocks until the context is
+// cancelled (drain, then clean return) or serving fails.
+type Daemon struct {
+	// Addr is the listen address; port 0 picks a free port.
+	Addr string
+	// Data is the store's data directory.
+	Data string
+	// Opts tunes the server.
+	Opts ServerOptions
+	// DrainTimeout bounds the graceful drain; zero means
+	// DefaultDrainTimeout.
+	DrainTimeout time.Duration
+	// Portfile, when set, receives the bound listen address atomically —
+	// how harnesses using port 0 learn where the server landed.
+	Portfile string
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Run opens the store, serves until ctx is cancelled, drains, and closes.
+// Acknowledged work survives any exit — graceful or not — because every
+// acknowledgement already sits behind an fsynced journal record.
+func (d Daemon) Run(ctx context.Context) error {
+	logf := d.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if d.Opts.Logf == nil {
+		d.Opts.Logf = logf
+	}
+	drainTimeout := d.DrainTimeout
+	if drainTimeout <= 0 {
+		drainTimeout = DefaultDrainTimeout
+	}
+
+	store, err := OpenStore(d.Data)
+	if err != nil {
+		return err
+	}
+	srv := NewServer(store, d.Opts)
+
+	ln, err := net.Listen("tcp", d.Addr)
+	if err != nil {
+		store.Close()
+		return fmt.Errorf("sweepd: listening on %s: %w", d.Addr, err)
+	}
+	if d.Portfile != "" {
+		if err := writePortfile(d.Portfile, ln.Addr().String()); err != nil {
+			ln.Close()
+			store.Close()
+			return err
+		}
+	}
+	logf("listening on %s (data %s, queue %d, workers %d)",
+		ln.Addr(), d.Data, srv.opts.QueueDepth, srv.opts.Workers)
+
+	srv.Start()
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		store.Close()
+		return fmt.Errorf("sweepd: serving: %w", err)
+	case <-ctx.Done():
+	}
+
+	logf("draining (deadline %v)", drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	drainErr := srv.Drain(dctx)
+	shutErr := httpSrv.Shutdown(dctx)
+	if errors.Is(shutErr, context.DeadlineExceeded) {
+		shutErr = nil // requests in flight past the deadline are abandoned by design
+	}
+	closeErr := store.Close()
+	switch {
+	case drainErr != nil:
+		return fmt.Errorf("sweepd: draining: %w", drainErr)
+	case shutErr != nil:
+		return fmt.Errorf("sweepd: shutting down HTTP server: %w", shutErr)
+	case closeErr != nil:
+		return fmt.Errorf("sweepd: closing store: %w", closeErr)
+	}
+	logf("drained cleanly")
+	return nil
+}
+
+// writePortfile publishes the bound address via tmp+rename so a reader
+// never sees a half-written file.
+func writePortfile(path, addr string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(addr), 0o644); err != nil {
+		return fmt.Errorf("sweepd: writing portfile: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("sweepd: publishing portfile: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+// Package sweepd is the crash-safe sweep service behind cmd/anvilserved: a
+// long-running HTTP/JSON front end over the experiment registry
+// (internal/scenario) and the append-only journal (internal/journal).
+//
+// The service is built from four pieces:
+//
+//   - Store — a crash-safe job store. Every submitted spec is journaled and
+//     fsynced before it is acknowledged, and every job state transition
+//     (queued → running → done/failed/truncated) is an append-only record,
+//     so a server killed with SIGKILL at any instant loses no acknowledged
+//     work: on restart the store replays the journal and the server resumes
+//     in-flight sweeps through the scenario checkpoint/resume path.
+//   - Admission control — a bounded queue that answers 429 loudly when full
+//     (never blocks, never drops silently) and per-caller quotas charged on
+//     completion records, never on submission, so a crash-resumed sweep
+//     cannot double-charge a caller's replicate budget.
+//   - A content-addressed result cache keyed by the sweep spec hash:
+//     identical submissions return the cached artifact instead of
+//     re-simulating, and a corrupted artifact degrades gracefully to
+//     recompute (the per-sweep journal still holds every replicate, so the
+//     rebuild is cheap) — never a 500, never wrong bytes.
+//   - Graceful drain — Server.Drain stops admitting, cancels running sweeps
+//     (their completed replicates are already checkpointed), persists queue
+//     state (it already is: queued records are durable) and returns within
+//     the caller's deadline.
+//
+// The service itself is host-zone code — it reads the host clock, talks to
+// the OS and the network. Replicate execution stays inside the deterministic
+// zone: the server only ever observes a sweep through scenario progress
+// events and its journaled results, so serving a sweep can never change its
+// bytes.
+//
+//lint:zone host
+package sweepd

@@ -1,0 +1,239 @@
+package sweepd
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// Artifact is the result document a done (or deterministically truncated)
+// job serves: the experiment's marshalled result plus its headline metrics,
+// captured server-side while the typed result value is still in hand —
+// clients only ever see these bytes.
+type Artifact struct {
+	Data    json.RawMessage   `json:"data"`
+	Metrics []scenario.Metric `json:"metrics,omitempty"`
+}
+
+// MarshalArtifact renders an experiment result as the artifact document.
+// Marshalling is canonical (encoding/json, shortest-round-trip floats), so
+// equal results produce equal bytes — the property the content-addressed
+// cache and the chaos harness's byte-diff both lean on.
+func MarshalArtifact(res scenario.Result) ([]byte, error) {
+	data, err := json.Marshal(res)
+	if err != nil {
+		return nil, err
+	}
+	a := Artifact{Data: data}
+	if m, ok := res.(scenario.Metricer); ok {
+		a.Metrics = m.Metrics()
+	}
+	return json.Marshal(a)
+}
+
+// JobState is one node of the job state machine. Transitions are append-only
+// records in the store journal:
+//
+//	queued → running → done | failed | truncated
+//	done → queued               (artifact corruption: recompute)
+//
+// A job whose last durable state is queued or running is re-enqueued on
+// server restart; running jobs resume from their sweep checkpoint journal.
+type JobState string
+
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateTruncated JobState = "truncated"
+)
+
+// Terminal reports whether the state ends a job's execution.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateTruncated
+}
+
+// JobSpec is what a caller submits: a registry experiment by name plus the
+// knobs that define its result bytes. Everything in the spec hash — name,
+// quick mode, seed, replicate budget — determines replicate output
+// deterministically; the per-replicate timeout is wall-clock-dependent, so
+// it is excluded from the hash and a job that sets it is never cached.
+type JobSpec struct {
+	// Experiment names a registered experiment (see cmd/tables -list).
+	Experiment string `json:"experiment"`
+	// Quick shrinks run lengths exactly like cmd/tables -quick.
+	Quick bool `json:"quick,omitempty"`
+	// Seed is the root seed of every replicate (scenario.ReplicateSeed).
+	Seed uint64 `json:"seed,omitempty"`
+	// BudgetReplicates bounds how many replicates each sweep of the job may
+	// execute; zero means unlimited. Replicate budgets truncate
+	// deterministically (the first N replicates in order), so they are part
+	// of the spec hash and budgeted results are cacheable.
+	BudgetReplicates int `json:"budget_replicates,omitempty"`
+	// TimeoutMS is the per-replicate wall-clock deadline in milliseconds
+	// (the PR-4 hardened-runner timeout); zero means none. Deadlines depend
+	// on host scheduling, so jobs with one set bypass the result cache.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Validate checks the spec against the experiment registry and rejects
+// nonsense bounds before anything is journaled.
+func (s JobSpec) Validate() error {
+	if strings.TrimSpace(s.Experiment) == "" {
+		return fmt.Errorf("sweepd: spec needs an experiment name")
+	}
+	if _, ok := scenario.Find(s.Experiment); !ok {
+		return fmt.Errorf("sweepd: unknown experiment %q (known: %s)",
+			s.Experiment, strings.Join(scenario.Names(), ", "))
+	}
+	if s.BudgetReplicates < 0 {
+		return fmt.Errorf("sweepd: negative replicate budget %d", s.BudgetReplicates)
+	}
+	if s.TimeoutMS < 0 {
+		return fmt.Errorf("sweepd: negative timeout %dms", s.TimeoutMS)
+	}
+	return nil
+}
+
+// Hash is the content address of the spec's results: the values that
+// determine replicate bytes and nothing else (no timeout, no parallelism —
+// those change wall-clock behaviour only). Identical hashes may share one
+// cached artifact and one sweep checkpoint directory. The function opts
+// back into the deterministic zone: content addressing must stay a pure
+// function of the spec even though the package around it is host-side.
+//
+//lint:zone deterministic
+func (s JobSpec) Hash() string {
+	return scenario.HashSpec("sweepd-job", s.Experiment, s.Quick, s.Seed, s.BudgetReplicates)
+}
+
+// Cacheable reports whether a done artifact for this spec may serve future
+// identical submissions.
+func (s JobSpec) Cacheable() bool { return s.TimeoutMS == 0 }
+
+// Timeout resolves TimeoutMS.
+func (s JobSpec) Timeout() time.Duration { return time.Duration(s.TimeoutMS) * time.Millisecond }
+
+// A Job is the server-side state of one submission. The immutable identity
+// fields are set at submission; the mutable state is guarded by mu and
+// mirrored to the store journal at every transition.
+type Job struct {
+	// ID is the store-assigned job identifier ("j-000001", monotonic).
+	ID string
+	// Caller is the submitting API key ("anonymous" when absent).
+	Caller string
+	// Spec is the submitted spec; SpecHash is Spec.Hash(), precomputed.
+	Spec     JobSpec
+	SpecHash string
+
+	mu      sync.Mutex
+	state   JobState
+	errText string
+	// artifact and sum locate and fingerprint the result artifact of a
+	// done/truncated job (file name under the store's artifacts dir, and
+	// the hex SHA-256 of its bytes).
+	artifact string
+	sum      string
+	// Progress counters, fed by scenario progress events: completed counts
+	// every replicate that reached its result slot this run, resumed the
+	// subset merged from a checkpoint journal; fresh = completed - resumed
+	// is what quota accounting charges. total estimates the job size.
+	completed int
+	resumed   int
+	total     int
+}
+
+// JobStatus is the wire snapshot of a job, served by GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID         string   `json:"id"`
+	State      JobState `json:"state"`
+	Experiment string   `json:"experiment"`
+	SpecHash   string   `json:"spec_hash"`
+	Completed  int      `json:"completed"`
+	Total      int      `json:"total"`
+	Resumed    int      `json:"resumed,omitempty"`
+	Error      string   `json:"error,omitempty"`
+	// Cached marks a submission answered from the result cache.
+	Cached bool `json:"cached,omitempty"`
+	// Deduped marks a submission coalesced onto an identical live job.
+	Deduped bool `json:"deduped,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID:         j.ID,
+		State:      j.state,
+		Experiment: j.Spec.Experiment,
+		SpecHash:   j.SpecHash,
+		Completed:  j.completed,
+		Total:      j.total,
+		Resumed:    j.resumed,
+		Error:      j.errText,
+	}
+}
+
+// State returns the job's current state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// observe is the scenario.Config.OnProgress hook: it counts replicates as
+// they reach their result slots. Called from sweep worker goroutines.
+func (j *Job) observe(ev scenario.ProgressEvent) {
+	j.mu.Lock()
+	j.completed++
+	if ev.Resumed {
+		j.resumed++
+	}
+	j.mu.Unlock()
+}
+
+// counts returns (fresh, resumed) replicate counts of the current run —
+// fresh is what a completion record charges against the caller's quota.
+func (j *Job) counts() (fresh, resumed int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.completed - j.resumed, j.resumed
+}
+
+// setTotal records the estimated job size for progress reporting.
+func (j *Job) setTotal(n int) {
+	j.mu.Lock()
+	j.total = n
+	j.mu.Unlock()
+}
+
+// resetProgress zeroes the progress counters at the start of a (re)run.
+func (j *Job) resetProgress() {
+	j.mu.Lock()
+	j.completed, j.resumed = 0, 0
+	j.mu.Unlock()
+}
+
+// setState applies an in-memory transition; the store journals the durable
+// record before calling this.
+func (j *Job) setState(state JobState, errText, artifact, sum string) {
+	j.mu.Lock()
+	j.state = state
+	j.errText = errText
+	j.artifact = artifact
+	j.sum = sum
+	j.mu.Unlock()
+}
+
+// artifactRef returns the artifact location of a terminal job.
+func (j *Job) artifactRef() (file, sum string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.artifact, j.sum
+}

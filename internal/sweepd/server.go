@@ -1,0 +1,464 @@
+package sweepd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"context"
+
+	"repro/internal/scenario"
+)
+
+// DefaultQueueDepth bounds the external submission queue when
+// ServerOptions.QueueDepth is zero.
+const DefaultQueueDepth = 32
+
+// ServerOptions tunes a Server. The zero value is serviceable: one sweep
+// worker, DefaultQueueDepth queue slots, unlimited quotas.
+type ServerOptions struct {
+	// QueueDepth bounds how many external submissions may wait queued at
+	// once; a submission past the bound gets a loud 429 with Retry-After —
+	// never a block, never a silent drop. Server-initiated repair re-runs
+	// (artifact corruption) bypass the bound: refusing repair work would
+	// wedge the corrupted job forever. Zero means DefaultQueueDepth.
+	QueueDepth int
+	// Workers is how many jobs execute concurrently. Zero means one.
+	Workers int
+	// Parallel is the per-sweep worker pool handed to scenario.Config;
+	// zero means GOMAXPROCS. Parallelism never changes result bytes.
+	Parallel int
+	// Quota is the per-caller admission limit; the zero value is unlimited.
+	Quota Quota
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// A Server runs jobs from a Store through the experiment registry and
+// serves the HTTP/JSON API. Create with NewServer, start workers with
+// Start, stop with Drain.
+type Server struct {
+	store *Store
+	opts  ServerOptions
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []*Job
+	draining bool
+
+	runCtx context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	mux    *http.ServeMux
+}
+
+// NewServer builds a server over an open store. Jobs whose last durable
+// state is queued or running are re-enqueued immediately (bypassing the
+// admission bound — they were already admitted); running ones resume from
+// their sweep checkpoint journals once a worker picks them up.
+func NewServer(store *Store, opts ServerOptions) *Server {
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = DefaultQueueDepth
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	s := &Server{store: store, opts: opts}
+	s.cond = sync.NewCond(&s.mu)
+	s.runCtx, s.cancel = context.WithCancel(context.Background())
+	s.queue = append(s.queue, store.Pending()...)
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/quota", s.handleQuota)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start launches the worker pool. Call once.
+func (s *Server) Start() {
+	for i := 0; i < s.opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Drain gracefully stops the server: new submissions are refused with 503,
+// running sweeps are cancelled (their completed replicates are already
+// checkpointed in per-sweep journals, and their durable job state stays
+// "running", so a restart resumes them), and Drain returns once every
+// worker has exited — or with an error when ctx expires first. Queued jobs
+// need no persisting: their submission records are already durable.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if already {
+		return nil
+	}
+	s.cancel()
+	s.mu.Lock()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return s.store.Sync()
+	case <-ctx.Done():
+		return fmt.Errorf("sweepd: drain deadline expired with workers still running: %w", ctx.Err())
+	}
+}
+
+// logf logs through the configured sink.
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// callerOf identifies the submitting caller: the X-API-Key header, or
+// "anonymous".
+func callerOf(r *http.Request) string {
+	if key := r.Header.Get("X-API-Key"); key != "" {
+		return key
+	}
+	return "anonymous"
+}
+
+// apiError is the JSON body of every non-2xx response.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// writeJSON writes one JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the response is already committed
+}
+
+// writeErr writes one JSON error response.
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit is POST /v1/jobs: validate, admit (quota, cache, dedup,
+// queue bound — in that order), journal, acknowledge. Nothing is journaled
+// unless it was admitted, and nothing is acknowledged unless it is durable.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding job spec: %v", err)
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	caller := callerOf(r)
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable, "server is draining; resubmit after restart")
+		return
+	}
+	if reason, over := s.opts.Quota.Exceeded(s.store.UsageFor(caller)); over {
+		s.mu.Unlock()
+		writeErr(w, http.StatusTooManyRequests, "caller %s over quota: %s", caller, reason)
+		return
+	}
+	hash := spec.Hash()
+	if spec.Cacheable() {
+		if entry, ok := s.store.Cached(hash); ok {
+			s.mu.Unlock()
+			if job, found := s.store.Lookup(entry.JobID); found {
+				st := job.Status()
+				st.Cached = true
+				writeJSON(w, http.StatusOK, st)
+				return
+			}
+		}
+	}
+	if live, ok := s.store.Live(hash); ok {
+		s.mu.Unlock()
+		st := live.Status()
+		st.Deduped = true
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	if len(s.queue) >= s.opts.QueueDepth {
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests,
+			"queue full (%d jobs waiting); retry later", s.opts.QueueDepth)
+		return
+	}
+	job, err := s.store.Submit(caller, spec)
+	if err != nil {
+		s.mu.Unlock()
+		writeErr(w, http.StatusInternalServerError, "journaling submission: %v", err)
+		return
+	}
+	s.queue = append(s.queue, job)
+	s.cond.Signal()
+	s.mu.Unlock()
+
+	s.logf("job %s: %s submitted by %s (spec %s)", job.ID, spec.Experiment, caller, job.SpecHash)
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+// handleJob is GET /v1/jobs/{id}: one job's status snapshot.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.store.Lookup(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// handleResult is GET /v1/jobs/{id}/result: the artifact bytes of a
+// finished job. Every read re-verifies the artifact against its journaled
+// SHA-256; a mismatch degrades gracefully — the job is re-queued for
+// recompute (its sweep journal still holds every replicate, so the rebuild
+// is cheap and charge-free) and the caller gets a 202, never a 500 and
+// never wrong bytes.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.store.Lookup(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	switch st := job.State(); st {
+	case StateDone, StateTruncated:
+		file, sum := job.artifactRef()
+		if file == "" {
+			writeErr(w, http.StatusConflict, "job %s finished %s without an artifact", job.ID, st)
+			return
+		}
+		data, err := s.store.ReadArtifact(file, sum)
+		if errors.Is(err, ErrArtifactCorrupt) {
+			s.logf("job %s: %v; re-queueing for recompute", job.ID, err)
+			if rerr := s.recompute(job, err.Error()); rerr != nil {
+				writeErr(w, http.StatusServiceUnavailable, "artifact corrupt and recompute failed to queue: %v", rerr)
+				return
+			}
+			st := job.Status()
+			writeJSON(w, http.StatusAccepted, st)
+			return
+		}
+		if err != nil {
+			writeErr(w, http.StatusServiceUnavailable, "reading artifact: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Job-State", string(st))
+		w.Header().Set("X-Artifact-Sum", sum)
+		w.Write(data) //nolint:errcheck // response already committed
+	case StateFailed:
+		writeJSON(w, http.StatusConflict, job.Status())
+	default:
+		writeJSON(w, http.StatusAccepted, job.Status())
+	}
+}
+
+// recompute journals a corrupt artifact's done → queued transition and
+// re-enqueues the job, bypassing the admission bound (the work was already
+// admitted and paid for; refusing the repair would wedge the job).
+func (s *Server) recompute(job *Job, reason string) error {
+	if err := s.store.Requeue(job, reason); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.queue = append(s.queue, job)
+	s.cond.Signal()
+	s.mu.Unlock()
+	return nil
+}
+
+// handleQuota is GET /v1/quota: the calling key's charged usage against the
+// server's per-caller limits.
+func (s *Server) handleQuota(w http.ResponseWriter, r *http.Request) {
+	caller := callerOf(r)
+	writeJSON(w, http.StatusOK, QuotaStatus{
+		Caller:          caller,
+		Used:            s.store.UsageFor(caller),
+		LimitReplicates: s.opts.Quota.Replicates,
+		LimitWallClock:  int64(s.opts.Quota.WallClock),
+	})
+}
+
+// healthz is the GET /v1/healthz body.
+type healthz struct {
+	Status   string `json:"status"`
+	Draining bool   `json:"draining,omitempty"`
+	Queued   int    `json:"queued"`
+}
+
+// handleHealthz is GET /v1/healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	h := healthz{Status: "ok", Draining: s.draining, Queued: len(s.queue)}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, h)
+}
+
+// worker executes queued jobs until drain.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		job := s.dequeue()
+		if job == nil {
+			return
+		}
+		s.runJob(job)
+	}
+}
+
+// dequeue blocks for the next queued job, returning nil at drain.
+func (s *Server) dequeue() *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) == 0 && s.runCtx.Err() == nil {
+		s.cond.Wait()
+	}
+	if s.runCtx.Err() != nil {
+		return nil
+	}
+	job := s.queue[0]
+	s.queue = s.queue[1:]
+	return job
+}
+
+// runJob drives one job through the registry: queued → running, sweep with
+// per-spec checkpoint journal (always opened in resume mode, so a job
+// interrupted by a crash or drain picks up exactly where its journal left
+// off), then one terminal transition carrying the completion charge. A job
+// interrupted by drain journals nothing — its durable state stays
+// "running" and the next server run resumes it.
+func (s *Server) runJob(job *Job) {
+	exp, ok := scenario.Find(job.Spec.Experiment)
+	if !ok { // validated at submission; racing registry changes are impossible
+		s.finish(job, StateFailed, fmt.Sprintf("experiment %q disappeared from the registry", job.Spec.Experiment), nil, 0)
+		return
+	}
+	if job.State() != StateRunning {
+		if err := s.store.MarkRunning(job); err != nil {
+			s.logf("job %s: journaling running transition: %v", job.ID, err)
+			return
+		}
+	}
+	sweepDir, err := s.store.SweepDir(job.SpecHash)
+	if err != nil {
+		s.finish(job, StateFailed, err.Error(), nil, 0)
+		return
+	}
+
+	job.resetProgress()
+	cfg := scenario.Config{
+		Quick:      job.Spec.Quick,
+		Seed:       job.Spec.Seed,
+		Parallel:   s.opts.Parallel,
+		Timeout:    job.Spec.Timeout(),
+		Budget:     scenario.Budget{Replicates: job.Spec.BudgetReplicates},
+		Sweep:      job.Spec.Experiment,
+		Ctx:        s.runCtx,
+		OnProgress: job.observe,
+	}.WithJournal(sweepDir, true)
+	job.setTotal(exp.EstimatedReps(cfg))
+
+	//lint:allow detrand job wall-clock accounting is host-side by definition; never read by simulated code
+	start := time.Now()
+	res, runErr := exp.Run(cfg)
+	//lint:allow detrand job wall-clock accounting is host-side by definition; never read by simulated code
+	wall := time.Since(start)
+
+	if s.runCtx.Err() != nil {
+		// Drain interrupted the sweep. Completed replicates are in the sweep
+		// journal; the durable job state stays "running" for restart resume.
+		s.logf("job %s: interrupted by drain after %d replicates; will resume", job.ID, func() int { f, r := job.counts(); return f + r }())
+		return
+	}
+
+	var artifact []byte
+	if res != nil {
+		raw, merr := MarshalArtifact(res)
+		if merr != nil {
+			s.finish(job, StateFailed, fmt.Sprintf("encoding result: %v", merr), nil, wall)
+			return
+		}
+		artifact = raw
+	}
+
+	var trunc *scenario.TruncatedError
+	switch {
+	case runErr == nil:
+		s.finish(job, StateDone, "", artifact, wall)
+	case errors.As(runErr, &trunc):
+		s.finish(job, StateTruncated, runErr.Error(), artifact, wall)
+	default:
+		s.finish(job, StateFailed, runErr.Error(), nil, wall)
+	}
+}
+
+// finish publishes a job's terminal transition: artifact first (atomic
+// write, fingerprinted), then the journaled state record that carries the
+// completion charge — fresh replicates only, so crash-resumed work is never
+// billed twice.
+func (s *Server) finish(job *Job, state JobState, errText string, artifact []byte, wall time.Duration) {
+	fresh, resumed := job.counts()
+	var file, sum string
+	if artifact != nil {
+		var err error
+		file, sum, err = s.store.WriteArtifact(job, artifact)
+		if err != nil {
+			state, errText = StateFailed, fmt.Sprintf("%s (artifact write failed: %v)", errText, err)
+			file, sum = "", ""
+		}
+	}
+	var err error
+	switch state {
+	case StateDone:
+		err = s.store.MarkDone(job, file, sum, fresh, resumed, wall)
+	case StateTruncated:
+		err = s.store.MarkTruncated(job, errText, file, sum, fresh, resumed, wall)
+	default:
+		err = s.store.MarkFailed(job, errText, fresh, resumed, wall)
+	}
+	if err != nil {
+		s.logf("job %s: journaling %s transition: %v", job.ID, state, err)
+		return
+	}
+	s.logf("job %s: %s (%d fresh, %d resumed, %v)", job.ID, state, fresh, resumed, wall.Round(time.Millisecond))
+}
+
+// RetryAfter parses a Retry-After header (seconds form) for clients.
+func RetryAfter(h http.Header) (time.Duration, bool) {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0, false
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	return time.Duration(secs) * time.Second, true
+}

@@ -1,0 +1,316 @@
+package sweepd
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestSubmitRunFetch is the happy path: submit, poll to done, fetch, and
+// the artifact bytes match an in-process run of the same experiment.
+func TestSubmitRunFetch(t *testing.T) {
+	svc := startService(t, t.TempDir(), ServerOptions{})
+	ctx := context.Background()
+	spec := fastSpec(42)
+
+	st, err := svc.client.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateQueued || st.Cached || st.Deduped {
+		t.Fatalf("fresh submission status: %+v", st)
+	}
+	data, err := svc.client.FetchResult(ctx, st.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := goldenArtifact(t, spec); !bytes.Equal(data, want) {
+		t.Fatalf("artifact = %s, want %s", data, want)
+	}
+
+	final, err := svc.client.Job(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Completed != fastReps || final.Resumed != 0 {
+		t.Fatalf("final progress: %+v", final)
+	}
+	q, err := svc.client.Quota(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Used.Replicates != fastReps {
+		t.Fatalf("charged %d replicates, want %d", q.Used.Replicates, fastReps)
+	}
+}
+
+// TestCacheHitSkipsWorkAndCharge: an identical second submission answers
+// from the content-addressed cache — same job, no fresh replicates, no new
+// quota charge.
+func TestCacheHitSkipsWorkAndCharge(t *testing.T) {
+	svc := startService(t, t.TempDir(), ServerOptions{})
+	ctx := context.Background()
+	spec := fastSpec(43)
+
+	first, err := svc.client.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.client.FetchResult(ctx, first.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := svc.client.Quota(ctx)
+
+	second, err := svc.client.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached || second.ID != first.ID || second.State != StateDone {
+		t.Fatalf("cached resubmission: %+v", second)
+	}
+	after, _ := svc.client.Quota(ctx)
+	if after.Used != before.Used {
+		t.Fatalf("cache hit changed usage: %+v -> %+v", before.Used, after.Used)
+	}
+
+	// A job with a per-replicate timeout is wall-clock-dependent: it must
+	// bypass the cache.
+	timed := spec
+	timed.TimeoutMS = 60_000
+	third, err := svc.client.Submit(ctx, timed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Cached || third.ID == first.ID {
+		t.Fatalf("timeout-bearing spec served from cache: %+v", third)
+	}
+}
+
+// TestDedupCoalescesLiveJob: two identical submissions racing share one
+// live job instead of double-running (and double-locking) one sweep journal.
+func TestDedupCoalescesLiveJob(t *testing.T) {
+	blockGate = make(chan struct{})
+	svc := startService(t, t.TempDir(), ServerOptions{})
+	ctx := context.Background()
+	spec := JobSpec{Experiment: expBlock, Seed: 5}
+
+	first, err := svc.client.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := svc.client.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Deduped || second.ID != first.ID {
+		t.Fatalf("identical live submission not coalesced: %+v", second)
+	}
+	close(blockGate)
+	if _, err := svc.client.FetchResult(ctx, first.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueueFull429 is the admission contract: a full queue answers 429 with
+// Retry-After immediately — it never blocks the submitter and never drops
+// the job silently.
+func TestQueueFull429(t *testing.T) {
+	blockGate = make(chan struct{})
+	defer close(blockGate)
+	svc := startService(t, t.TempDir(), ServerOptions{QueueDepth: 1, Workers: 1})
+	ctx := context.Background()
+
+	// Occupy the single worker, then fill the single queue slot.
+	running, err := svc.client.Submit(ctx, JobSpec{Experiment: expBlock, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, svc.client, running.ID, StateRunning)
+	if _, err := svc.client.Submit(ctx, fastSpec(100)); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	_, err = svc.client.Submit(ctx, fastSpec(101))
+	elapsed := time.Since(start)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusTooManyRequests {
+		t.Fatalf("queue-full submission: err = %v, want 429", err)
+	}
+	if se.RetryAfter <= 0 {
+		t.Fatalf("queue-full 429 missing Retry-After: %+v", se)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("queue-full 429 took %v; admission must not block", elapsed)
+	}
+}
+
+// TestQuota429: a caller over their replicate quota is refused at admission
+// with 429, while other callers keep working.
+func TestQuota429(t *testing.T) {
+	svc := startService(t, t.TempDir(), ServerOptions{
+		Quota: Quota{Replicates: fastReps}, // one fast job exhausts it
+	})
+	ctx := context.Background()
+	alice := &Client{Base: svc.http.URL, APIKey: "alice"}
+	bob := &Client{Base: svc.http.URL, APIKey: "bob"}
+
+	st, err := alice.Submit(ctx, fastSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.FetchResult(ctx, st.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = alice.Submit(ctx, fastSpec(2))
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submission: err = %v, want 429", err)
+	}
+	q, err := alice.Quota(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Used.Replicates != fastReps || q.LimitReplicates != fastReps {
+		t.Fatalf("quota status: %+v", q)
+	}
+	// Quotas are per caller: bob's budget is untouched.
+	if _, err := bob.Submit(ctx, fastSpec(3)); err != nil {
+		t.Fatalf("unrelated caller refused: %v", err)
+	}
+}
+
+// TestCorruptArtifactRecomputes is the graceful-degradation contract: a
+// corrupted artifact is detected on read (never served), the job recomputes
+// from its sweep checkpoint journal (no fresh replicates, no re-charge),
+// and the rebuilt artifact is byte-identical.
+func TestCorruptArtifactRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	svc := startService(t, dir, ServerOptions{})
+	ctx := context.Background()
+	spec := fastSpec(77)
+
+	st, err := svc.client.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := svc.client.FetchResult(ctx, st.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	usageBefore, _ := svc.client.Quota(ctx)
+
+	// Corrupt the artifact on disk behind the server's back.
+	path := filepath.Join(dir, "artifacts", st.SpecHash+".json")
+	if err := os.WriteFile(path, []byte(`{"forged":"bytes"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The fetch detects the corruption: a 202 recompute, never a 500 and
+	// never the forged bytes.
+	data, pending, err := svc.client.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data != nil {
+		t.Fatalf("corrupt fetch returned bytes: %s", data)
+	}
+	if pending.State.Terminal() {
+		t.Fatalf("corrupt fetch did not trigger recompute: %+v", pending)
+	}
+
+	got, err := svc.client.FetchResult(ctx, st.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("recomputed artifact differs:\n got %s\nwant %s", got, want)
+	}
+	// Every replicate resumed from the sweep journal: the recompute was
+	// free.
+	usageAfter, _ := svc.client.Quota(ctx)
+	if usageAfter.Used != usageBefore.Used {
+		t.Fatalf("recompute re-charged the caller: %+v -> %+v", usageBefore.Used, usageAfter.Used)
+	}
+	final, _ := svc.client.Job(ctx, st.ID)
+	if final.Resumed != fastReps {
+		t.Fatalf("recompute resumed %d of %d replicates", final.Resumed, fastReps)
+	}
+}
+
+// TestDrainStopsAdmissionAndResumes: drain refuses new submissions with
+// 503, returns within its deadline even with a wedged job running, leaves
+// that job durably resumable, and a fresh server on the same store finishes
+// it.
+func TestDrainStopsAdmissionAndResumes(t *testing.T) {
+	blockGate = make(chan struct{})
+	dir := t.TempDir()
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(store, ServerOptions{Logf: t.Logf})
+	srv.Start()
+	hs := httptest.NewServer(srv.Handler())
+	client := &Client{Base: hs.URL}
+	ctx := context.Background()
+
+	st, err := client.Submit(ctx, JobSpec{Experiment: expBlock, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, client, st.ID, StateRunning)
+
+	// Drain with a bounded deadline: the blocked replicate is abandoned at
+	// its context, so drain must come back well inside it.
+	dctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	start := time.Now()
+	if err := srv.Drain(dctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	cancel()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("drain took %v", elapsed)
+	}
+
+	// Draining server refuses new work loudly.
+	_, err = client.Submit(ctx, fastSpec(200))
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("submission during drain: err = %v, want 503", err)
+	}
+	// The interrupted job's durable state is still running — resumable, not
+	// lost, not falsely failed.
+	if got := mustLookup(t, store, st.ID).State(); got != StateRunning {
+		t.Fatalf("interrupted job state = %s, want running", got)
+	}
+	close(blockGate) // release the abandoned replicate goroutine
+	hs.Close()
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart on the same data directory: the job is re-queued and runs to
+	// completion.
+	svc2 := startService(t, dir, ServerOptions{})
+	if _, err := svc2.client.FetchResult(ctx, st.ID, 0); err != nil {
+		t.Fatalf("resumed job after drain: %v", err)
+	}
+}
+
+// mustLookup fetches a job from the store or fails the test.
+func mustLookup(t *testing.T, s *Store, id string) *Job {
+	t.Helper()
+	job, ok := s.Lookup(id)
+	if !ok {
+		t.Fatalf("job %s missing from store", id)
+	}
+	return job
+}

@@ -1,0 +1,224 @@
+package sweepd
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/journal"
+)
+
+func fastSpec(seed uint64) JobSpec {
+	return JobSpec{Experiment: expFast, Seed: seed}
+}
+
+func TestStoreReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := s.Submit("alice", fastSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Submit("bob", fastSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID == b.ID {
+		t.Fatalf("duplicate job IDs: %s", a.ID)
+	}
+	if err := s.MarkRunning(a); err != nil {
+		t.Fatal(err)
+	}
+	file, sum, err := s.WriteArtifact(a, []byte(`{"ok":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkDone(a, file, sum, 4, 0, 250*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh open replays the journal into the identical view.
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	a2, ok := s2.Lookup(a.ID)
+	if !ok || a2.State() != StateDone || a2.Caller != "alice" {
+		t.Fatalf("job %s after replay: %+v", a.ID, a2)
+	}
+	if data, err := s2.ReadArtifact(file, sum); err != nil || string(data) != `{"ok":true}` {
+		t.Fatalf("replayed artifact: %q, %v", data, err)
+	}
+	if entry, ok := s2.Cached(a.SpecHash); !ok || entry.JobID != a.ID {
+		t.Fatalf("done cacheable job missing from cache: %+v, %v", entry, ok)
+	}
+	pending := s2.Pending()
+	if len(pending) != 1 || pending[0].ID != b.ID {
+		t.Fatalf("pending after replay = %v, want just %s", pending, b.ID)
+	}
+	if live, ok := s2.Live(b.SpecHash); !ok || live.ID != b.ID {
+		t.Fatalf("queued job missing from live index")
+	}
+	if u := s2.UsageFor("alice"); u.Replicates != 4 || u.WallClock != 250*time.Millisecond {
+		t.Fatalf("alice usage after replay = %+v", u)
+	}
+
+	// A job ID minted after replay never collides with a replayed one.
+	c, err := s2.Submit("carol", fastSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ID == a.ID || c.ID == b.ID {
+		t.Fatalf("post-replay job ID %s collides", c.ID)
+	}
+}
+
+// TestStoreChargesOnCompletionOnly is the satellite-3 contract: submission
+// and running journal nothing against the quota; only the terminal record
+// bills, and it bills fresh replicates only — a crash-resumed sweep's merged
+// replicates are free.
+func TestStoreChargesOnCompletionOnly(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	job, err := s.Submit("alice", fastSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := s.UsageFor("alice"); u != (Usage{}) {
+		t.Fatalf("usage charged at submission: %+v", u)
+	}
+	if err := s.MarkRunning(job); err != nil {
+		t.Fatal(err)
+	}
+	if u := s.UsageFor("alice"); u != (Usage{}) {
+		t.Fatalf("usage charged at running: %+v", u)
+	}
+	// Completion after a crash-resume: 3 fresh, 13 resumed — only the 3
+	// fresh replicates bill.
+	file, sum, err := s.WriteArtifact(job, []byte("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkDone(job, file, sum, 3, 13, 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if u := s.UsageFor("alice"); u.Replicates != 3 {
+		t.Fatalf("charged %d replicates, want 3 (resumed must be free)", u.Replicates)
+	}
+}
+
+func TestStoreArtifactCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	job, err := s.Submit("x", fastSpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	file, sum, err := s.WriteArtifact(job, []byte(`{"v":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadArtifact(file, sum); err != nil {
+		t.Fatalf("pristine artifact failed verification: %v", err)
+	}
+
+	// Flipped byte: typed corruption, never the wrong bytes.
+	path := filepath.Join(dir, "artifacts", file)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadArtifact(file, sum); !errors.Is(err, ErrArtifactCorrupt) {
+		t.Fatalf("flipped artifact: err = %v, want ErrArtifactCorrupt", err)
+	}
+	// Deleted artifact: same typed degradation.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadArtifact(file, sum); !errors.Is(err, ErrArtifactCorrupt) {
+		t.Fatalf("missing artifact: err = %v, want ErrArtifactCorrupt", err)
+	}
+}
+
+func TestStoreRequeueEvictsCache(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	job, err := s.Submit("x", fastSpec(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	file, sum, err := s.WriteArtifact(job, []byte("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkDone(job, file, sum, 4, 0, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Cached(job.SpecHash); !ok {
+		t.Fatal("done job not cached")
+	}
+
+	if err := s.Requeue(job, "artifact corrupt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Cached(job.SpecHash); ok {
+		t.Fatal("requeued job still cached")
+	}
+	if live, ok := s.Live(job.SpecHash); !ok || live.ID != job.ID {
+		t.Fatal("requeued job missing from live index")
+	}
+	if got := job.State(); got != StateQueued {
+		t.Fatalf("requeued job state = %s", got)
+	}
+}
+
+// TestStoreRefusesSecondOpen: one data directory, one server — a second
+// open fails loudly with the journal's typed lock error instead of
+// interleaving appends.
+func TestStoreRefusesSecondOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(dir); !errors.Is(err, journal.ErrLocked) {
+		t.Fatalf("second OpenStore: err = %v, want journal.ErrLocked", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+	s2.Close()
+}

@@ -1,0 +1,198 @@
+package sweepd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// The test registry: three sweep-shaped experiments exercising the service
+// paths. Registered once per test process (the registry is global and
+// refuses duplicates); the chaos-harness subprocess reuses them through the
+// same init.
+//
+//   - sweepd-test-fast: 4 instant replicates — happy path, caching, quota.
+//   - sweepd-test-chaos: 16 replicates of ~40ms each — wide enough a window
+//     to SIGKILL or SIGTERM the server mid-sweep.
+//   - sweepd-test-block: replicates that park on blockGate until the test
+//     releases them — drain and queue-full scenarios.
+const (
+	expFast  = "sweepd-test-fast"
+	expChaos = "sweepd-test-chaos"
+	expBlock = "sweepd-test-block"
+
+	fastReps  = 4
+	chaosReps = 16
+)
+
+// blockGate parks sweepd-test-block replicates. Tests (re)make it before
+// submitting and close it to release; tests run sequentially, so the global
+// is race-free.
+var blockGate chan struct{}
+
+// testSweepResult is the artifact payload of every test experiment. Its
+// fields round-trip exactly through JSON, so journal-resumed replicates
+// reproduce the artifact byte for byte.
+type testSweepResult struct {
+	Experiment string   `json:"experiment"`
+	Values     []uint64 `json:"values"`
+}
+
+func (r *testSweepResult) Render() string {
+	return fmt.Sprintf("%s: %d values", r.Experiment, len(r.Values))
+}
+
+// mkSweepRun builds a registry Run function: n replicates, each sleeping
+// delay (host wall-clock, to widen kill windows) and returning a value
+// derived purely from its replicate seed.
+func mkSweepRun(name string, n int, delay time.Duration) func(scenario.Config) (scenario.Result, error) {
+	return func(cfg scenario.Config) (scenario.Result, error) {
+		vals, err := scenario.RunReplicates(cfg, n, func(rep int) (uint64, error) {
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			return scenario.ReplicateSeed(cfg.Seed, rep) % 1_000_003, nil
+		})
+		res := &testSweepResult{Experiment: name, Values: vals}
+		if err != nil {
+			var trunc *scenario.TruncatedError
+			if errors.As(err, &trunc) {
+				return res, err // partial artifact rides along with the truncation
+			}
+			return nil, err
+		}
+		return res, nil
+	}
+}
+
+func init() {
+	scenario.Register(scenario.Experiment{
+		Name: expFast,
+		Desc: "sweepd test: instant 4-replicate sweep",
+		Run:  mkSweepRun(expFast, fastReps, 0),
+		Reps: func(scenario.Config) int { return fastReps },
+	})
+	scenario.Register(scenario.Experiment{
+		Name: expChaos,
+		Desc: "sweepd test: slow 16-replicate sweep for kill windows",
+		Run:  mkSweepRun(expChaos, chaosReps, 40*time.Millisecond),
+		Reps: func(scenario.Config) int { return chaosReps },
+	})
+	scenario.Register(scenario.Experiment{
+		Name: expBlock,
+		Desc: "sweepd test: replicates parked on a gate",
+		Run: func(cfg scenario.Config) (scenario.Result, error) {
+			gate := blockGate
+			vals, err := scenario.RunReplicates(cfg, 2, func(rep int) (uint64, error) {
+				if gate != nil {
+					<-gate
+				}
+				return uint64(rep), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			return &testSweepResult{Experiment: expBlock, Values: vals}, nil
+		},
+		Reps: func(scenario.Config) int { return 2 },
+	})
+}
+
+// goldenArtifact computes the artifact bytes the server must serve for a
+// spec, by running the experiment in-process exactly as runJob does
+// (journal and parallelism never change bytes).
+func goldenArtifact(t *testing.T, spec JobSpec) []byte {
+	t.Helper()
+	exp, ok := scenario.Find(spec.Experiment)
+	if !ok {
+		t.Fatalf("experiment %q not registered", spec.Experiment)
+	}
+	res, err := exp.Run(scenario.Config{Quick: spec.Quick, Seed: spec.Seed})
+	if err != nil {
+		t.Fatalf("golden run of %s: %v", spec.Experiment, err)
+	}
+	raw, err := MarshalArtifact(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// testService is one in-process service: store + server + HTTP front end +
+// client, torn down in reverse order.
+type testService struct {
+	store  *Store
+	server *Server
+	http   *httptest.Server
+	client *Client
+}
+
+// startService opens a store at dir and serves it over an httptest server.
+func startService(t *testing.T, dir string, opts ServerOptions) *testService {
+	t.Helper()
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Logf == nil {
+		opts.Logf = t.Logf
+	}
+	srv := NewServer(store, opts)
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	svc := &testService{
+		store:  store,
+		server: srv,
+		http:   ts,
+		client: &Client{Base: ts.URL},
+	}
+	t.Cleanup(func() { svc.stop(t) })
+	return svc
+}
+
+// stop drains and closes the service; safe to call twice.
+func (svc *testService) stop(t *testing.T) {
+	t.Helper()
+	if svc.http == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := svc.server.Drain(ctx); err != nil {
+		t.Errorf("drain at teardown: %v", err)
+	}
+	svc.http.Close()
+	if err := svc.store.Close(); err != nil {
+		t.Errorf("store close at teardown: %v", err)
+	}
+	svc.http = nil
+}
+
+// waitState polls a job until it reaches want (or the deadline).
+func waitState(t *testing.T, c *Client, id string, want JobState) JobStatus {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			t.Fatalf("polling job %s: %v", id, err)
+		}
+		if st.State == want {
+			return st
+		}
+		if st.State.Terminal() {
+			t.Fatalf("job %s reached %s (error %q) while waiting for %s", id, st.State, st.Error, want)
+		}
+		select {
+		case <-ctx.Done():
+			t.Fatalf("job %s stuck in %s waiting for %s", id, st.State, want)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
