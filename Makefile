@@ -3,7 +3,7 @@ GO ?= go
 # Packages with a BenchmarkHotPath microbenchmark of the per-access pipeline.
 BENCH_PKGS := ./internal/cache ./internal/pmu ./internal/dram ./internal/machine
 
-.PHONY: all build test race fuzz-smoke fault-smoke resume-smoke serve-smoke vet lint fmt check bench bench-smoke
+.PHONY: all build test race fuzz-smoke fault-smoke resume-smoke serve-smoke worker-smoke vet lint fmt check bench bench-smoke
 
 all: build test vet lint
 
@@ -76,6 +76,48 @@ serve-smoke:
 	[ -s /tmp/anvil-serve-smoke/result.json ]; \
 	kill -TERM $$pid; trap - EXIT; wait $$pid
 	@echo "serve-smoke: artifact fetched and server drained cleanly"
+
+# The distributed sweep plane end to end. First the worker-fleet chaos
+# harness under the race detector: three real worker subprocesses sharing one
+# job, one SIGKILLed mid-replicate, one network-partitioned by the netchaos
+# proxy, with the artifact byte-diffed against an uninterrupted golden — plus
+# the SIGTERM graceful-handoff and in-process soft-stop variants. Then a
+# live-binary smoke: anvilserved -distribute plus two anvilworkerd processes
+# computing a shardable registry job, fetched over curl, everything drained
+# with SIGTERM.
+worker-smoke:
+	$(GO) test -race -run 'TestWorkerFleetChaos|TestWorkerSIGTERMGraceful|TestSoftStopFinishesInFlightReplicate' -v ./internal/workerd
+	rm -rf /tmp/anvil-worker-smoke && mkdir -p /tmp/anvil-worker-smoke
+	$(GO) build -o /tmp/anvil-worker-smoke/anvilserved ./cmd/anvilserved
+	$(GO) build -o /tmp/anvil-worker-smoke/anvilworkerd ./cmd/anvilworkerd
+	set -e; \
+	/tmp/anvil-worker-smoke/anvilserved -addr 127.0.0.1:0 \
+		-data /tmp/anvil-worker-smoke/data \
+		-distribute -lease-chunk 2 -worker-grace 60s \
+		-portfile /tmp/anvil-worker-smoke/port & \
+	spid=$$!; trap 'kill $$spid 2>/dev/null' EXIT; \
+	for i in $$(seq 1 100); do \
+		[ -s /tmp/anvil-worker-smoke/port ] && break; sleep 0.1; done; \
+	addr=$$(cat /tmp/anvil-worker-smoke/port); \
+	/tmp/anvil-worker-smoke/anvilworkerd -coordinator "http://$$addr" -id smoke-w1 -seed 1 \
+		> /tmp/anvil-worker-smoke/w1.log 2>&1 & w1=$$!; \
+	/tmp/anvil-worker-smoke/anvilworkerd -coordinator "http://$$addr" -id smoke-w2 -seed 2 \
+		> /tmp/anvil-worker-smoke/w2.log 2>&1 & w2=$$!; \
+	trap 'kill $$spid $$w1 $$w2 2>/dev/null' EXIT; \
+	id=$$(curl -sf -X POST "http://$$addr/v1/jobs" \
+		-d '{"experiment":"fault-matrix","quick":true,"seed":7}' \
+		| sed -n 's/.*"id": "\([^"]*\)".*/\1/p'); \
+	echo "worker-smoke: submitted $$id to $$addr"; \
+	for i in $$(seq 1 600); do \
+		code=$$(curl -s -o /tmp/anvil-worker-smoke/result.json \
+			-w '%{http_code}' "http://$$addr/v1/jobs/$$id/result"); \
+		[ "$$code" = 200 ] && break; sleep 0.5; done; \
+	[ "$$code" = 200 ]; \
+	[ -s /tmp/anvil-worker-smoke/result.json ]; \
+	grep -q 'released after' /tmp/anvil-worker-smoke/w1.log /tmp/anvil-worker-smoke/w2.log; \
+	kill -TERM $$w1 $$w2; wait $$w1; wait $$w2; \
+	kill -TERM $$spid; trap - EXIT; wait $$spid
+	@echo "worker-smoke: fleet computed the job; workers and coordinator drained cleanly"
 
 vet:
 	$(GO) vet ./...

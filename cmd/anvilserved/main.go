@@ -7,6 +7,7 @@
 //	anvilserved -data DIR [-addr HOST:PORT] [-queue N] [-workers N]
 //	            [-parallel N] [-quota-reps N] [-quota-wall D]
 //	            [-drain-timeout D] [-portfile PATH]
+//	            [-distribute] [-lease-ttl D] [-lease-chunk N] [-worker-grace D]
 //
 // Every submitted job spec is journaled and fsynced under -data before the
 // submission is acknowledged, and every job state transition is an
@@ -17,15 +18,29 @@
 // sweeps are cancelled at a replicate boundary (their completed replicates
 // are already checkpointed), and the process exits within -drain-timeout.
 //
+// With -distribute the daemon also coordinates a fleet of anvilworkerd
+// processes: shardable jobs get a distribution phase where workers claim
+// replicate slot leases, compute them, and upload results into the job's
+// sweep journal. A coordinator that never hears from a worker falls back to
+// computing in-process after -worker-grace of lease-plane silence, so
+// -distribute is always safe to enable.
+//
 // API (all JSON):
 //
-//	POST /v1/jobs             submit a job spec; 202 on admission, 200 when
-//	                          answered from cache or coalesced onto a live
-//	                          job, 429 when over quota or the queue is full
-//	GET  /v1/jobs/{id}        job status
-//	GET  /v1/jobs/{id}/result artifact bytes (200), or 202 while pending
-//	GET  /v1/quota            the caller's charged usage (X-API-Key)
-//	GET  /v1/healthz          liveness
+//	POST /v1/jobs                   submit a job spec; 202 on admission, 200
+//	                                when answered from cache or coalesced
+//	                                onto a live job, 429 when over quota or
+//	                                the queue is full
+//	GET  /v1/jobs/{id}              job status
+//	GET  /v1/jobs/{id}/result       artifact bytes (200), or 202 while pending
+//	GET  /v1/quota                  the caller's charged usage (X-API-Key)
+//	GET  /v1/healthz                readiness: queue depth, draining flag,
+//	                                lease counts, journal-lock liveness
+//	POST /v1/leases/claim           claim a slot lease (-distribute only;
+//	                                204 + Retry-After when no work is free)
+//	POST /v1/leases/{id}/renew      heartbeat a lease; 410 once it expired
+//	POST /v1/leases/{id}/results    upload one replicate result (idempotent)
+//	POST /v1/leases/{id}/release    give a lease back explicitly
 package main
 
 import (
@@ -54,6 +69,10 @@ func main() {
 		quotaWall    = flag.Duration("quota-wall", 0, "per-caller wall-clock quota (0 = unlimited)")
 		drainTimeout = flag.Duration("drain-timeout", sweepd.DefaultDrainTimeout, "graceful drain deadline on SIGTERM/SIGINT")
 		portfile     = flag.String("portfile", "", "write the bound listen address to this file (for harnesses using port 0)")
+		distribute   = flag.Bool("distribute", false, "open the worker lease plane (POST /v1/leases/...) for anvilworkerd fleets")
+		leaseTTL     = flag.Duration("lease-ttl", sweepd.DefaultLeaseTTL, "slot-lease lifetime without a heartbeat before reassignment")
+		leaseChunk   = flag.Int("lease-chunk", sweepd.DefaultLeaseChunk, "max replicate slots granted per claim")
+		workerGrace  = flag.Duration("worker-grace", sweepd.DefaultWorkerGrace, "lease-plane silence before a sharded job falls back to in-process execution")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -65,10 +84,14 @@ func main() {
 		Addr: *addr,
 		Data: *data,
 		Opts: sweepd.ServerOptions{
-			QueueDepth: *queue,
-			Workers:    *workers,
-			Parallel:   *parallel,
-			Quota:      sweepd.Quota{Replicates: *quotaReps, WallClock: *quotaWall},
+			QueueDepth:  *queue,
+			Workers:     *workers,
+			Parallel:    *parallel,
+			Quota:       sweepd.Quota{Replicates: *quotaReps, WallClock: *quotaWall},
+			Distribute:  *distribute,
+			LeaseTTL:    *leaseTTL,
+			LeaseChunk:  *leaseChunk,
+			WorkerGrace: *workerGrace,
 		},
 		DrainTimeout: *drainTimeout,
 		Portfile:     *portfile,

@@ -238,5 +238,8 @@ func init() {
 			}
 		}),
 		Reps: func(Config) int { return len(faultProfiles()) },
+		// One top-level sweep, one replicate per profile: safe to shard
+		// across worker processes.
+		Shardable: true,
 	})
 }

@@ -58,11 +58,13 @@ var DefaultZones = map[string]Zone{
 	"internal/fault":    ZoneDeterministic,
 	"internal/machine":  ZoneDeterministic,
 	"internal/memsys":   ZoneDeterministic,
+	"internal/netchaos": ZoneHost,
 	"internal/pmu":      ZoneDeterministic,
 	"internal/scenario": ZoneDeterministic,
 	"internal/sim":      ZoneDeterministic,
 	"internal/sweepd":   ZoneHost,
 	"internal/vm":       ZoneDeterministic,
+	"internal/workerd":  ZoneHost,
 	"internal/workload": ZoneDeterministic,
 }
 

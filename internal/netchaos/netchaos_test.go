@@ -1,0 +1,215 @@
+package netchaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newBackend serves a counting echo: every request increments hits and
+// returns "ok-<n>".
+func newBackend(t *testing.T, hits *atomic.Int64) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := hits.Add(1)
+		io.Copy(io.Discard, r.Body) //nolint:errcheck // draining the request
+		w.Write([]byte("ok"))       //nolint:errcheck // test backend
+		_ = n
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// noKeepAlive returns a client that never reuses connections, so a killed
+// pooled connection cannot leak a fault into the next healthy request.
+func noKeepAlive(rt http.RoundTripper) *http.Client {
+	if rt == nil {
+		rt = &http.Transport{DisableKeepAlives: true}
+	}
+	return &http.Client{Transport: rt, Timeout: 10 * time.Second}
+}
+
+func TestTransportZeroFaultsIsTransparent(t *testing.T) {
+	var hits atomic.Int64
+	srv := newBackend(t, &hits)
+	c := noKeepAlive(NewTransport(nil, Faults{}))
+	for i := 0; i < 5; i++ {
+		resp, err := c.Get(srv.URL)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if string(body) != "ok" {
+			t.Fatalf("request %d: body %q", i, body)
+		}
+	}
+	if hits.Load() != 5 {
+		t.Fatalf("backend saw %d requests, want 5", hits.Load())
+	}
+}
+
+func TestTransportFaultScheduleIsSeeded(t *testing.T) {
+	var hits atomic.Int64
+	srv := newBackend(t, &hits)
+	pattern := func(seed uint64) string {
+		c := noKeepAlive(NewTransport(nil, Faults{Seed: seed, DropBefore: 0.5}))
+		var b strings.Builder
+		for i := 0; i < 32; i++ {
+			if _, err := c.Get(srv.URL); err != nil {
+				b.WriteByte('x')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		return b.String()
+	}
+	a, b := pattern(7), pattern(7)
+	if a != b {
+		t.Fatalf("same seed produced different fault schedules:\n%s\n%s", a, b)
+	}
+	if !strings.Contains(a, "x") || !strings.Contains(a, ".") {
+		t.Fatalf("p=0.5 schedule should mix faults and successes: %s", a)
+	}
+	if c := pattern(8); c == a {
+		t.Fatalf("different seeds produced the same schedule: %s", c)
+	}
+}
+
+// TestTransportDropAfter proves the nasty half of at-most-once: the server
+// processed the request, the client saw an error.
+func TestTransportDropAfter(t *testing.T) {
+	var hits atomic.Int64
+	srv := newBackend(t, &hits)
+	c := noKeepAlive(NewTransport(nil, Faults{Seed: 1, DropAfter: 1}))
+	_, err := c.Get(srv.URL)
+	if !errors.Is(errorUnwrapURL(err), ErrInjected) {
+		t.Fatalf("want injected fault, got %v", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("backend saw %d requests; a drop-after fault must still deliver exactly one", hits.Load())
+	}
+}
+
+// TestTransportDuplicate proves at-least-once: the server sees the request
+// twice, the client sees one success.
+func TestTransportDuplicate(t *testing.T) {
+	var hits atomic.Int64
+	srv := newBackend(t, &hits)
+	c := noKeepAlive(NewTransport(nil, Faults{Seed: 1, Duplicate: 1}))
+	req, err := http.NewRequest(http.MethodPost, srv.URL, bytes.NewReader([]byte(`{"x":1}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 2 {
+		t.Fatalf("backend saw %d deliveries, want 2 (duplicated)", hits.Load())
+	}
+}
+
+func TestTransportPartitionHeal(t *testing.T) {
+	var hits atomic.Int64
+	srv := newBackend(t, &hits)
+	tr := NewTransport(nil, Faults{})
+	c := noKeepAlive(tr)
+	tr.Partition()
+	if _, err := c.Get(srv.URL); !errors.Is(errorUnwrapURL(err), ErrInjected) {
+		t.Fatalf("partitioned transport must fail, got %v", err)
+	}
+	if hits.Load() != 0 {
+		t.Fatal("partitioned request reached the server")
+	}
+	tr.Heal()
+	if _, err := c.Get(srv.URL); err != nil {
+		t.Fatalf("healed transport failed: %v", err)
+	}
+}
+
+func TestProxyRelayAndPartition(t *testing.T) {
+	var hits atomic.Int64
+	srv := newBackend(t, &hits)
+	target := strings.TrimPrefix(srv.URL, "http://")
+	p, err := NewProxy(target, ProxyOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := noKeepAlive(nil)
+	c.Timeout = 5 * time.Second
+
+	resp, err := c.Get("http://" + p.Addr())
+	if err != nil {
+		t.Fatalf("relay: %v", err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 1 {
+		t.Fatalf("backend saw %d requests through the relay, want 1", hits.Load())
+	}
+
+	p.Partition()
+	if _, err := c.Get("http://" + p.Addr()); err == nil {
+		t.Fatal("request crossed a partitioned proxy")
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("partitioned request reached the backend (hits %d)", hits.Load())
+	}
+
+	p.Heal()
+	resp, err = c.Get("http://" + p.Addr())
+	if err != nil {
+		t.Fatalf("healed relay: %v", err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 2 {
+		t.Fatalf("backend saw %d requests after heal, want 2", hits.Load())
+	}
+}
+
+// TestProxyMidBodyReset: a connection crossing its byte budget dies with a
+// reset mid-response — the client must see a transport error, never a clean
+// short body.
+func TestProxyMidBodyReset(t *testing.T) {
+	big := bytes.Repeat([]byte("anvil"), 1<<16) // 320 KiB
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write(big) //nolint:errcheck // the injected reset makes this fail by design
+	}))
+	defer srv.Close()
+	p, err := NewProxy(strings.TrimPrefix(srv.URL, "http://"), ProxyOptions{Seed: 9, ResetAfterBytes: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := noKeepAlive(nil)
+	resp, err := c.Get("http://" + p.Addr())
+	if err == nil {
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr == nil && len(body) == len(big) {
+			t.Fatal("full body crossed a proxy with an 8 KiB reset budget")
+		}
+		if rerr == nil {
+			t.Fatalf("short body (%d of %d bytes) delivered without an error", len(body), len(big))
+		}
+	}
+}
+
+// errorUnwrapURL strips the *url.Error wrapper http.Client adds around
+// transport errors.
+func errorUnwrapURL(err error) error {
+	var ue *url.Error
+	if errors.As(err, &ue) {
+		return ue.Err
+	}
+	return err
+}

@@ -167,6 +167,23 @@ func openSweepJournal(cfg Config, n int) (*Journal, error) {
 	return OpenJournal(path, meta, cfg.Resume)
 }
 
+// OpenFirstSweepJournal opens — creating or resuming — the checkpoint
+// journal of the Config's first (seq-0) sweep, sized at n replicates. It is
+// the coordinator half of distributed sharding: a Shardable experiment runs
+// exactly one top-level sweep, so the seq-0 journal is the file a finalizing
+// exp.Run(cfg) with Resume set will merge, and appending worker-uploaded
+// replicate records here is indistinguishable from the sweep having computed
+// them locally. Resume semantics are unconditional (an existing journal is
+// recovered, a missing one created), because the coordinator may be
+// restarted mid-job any number of times.
+func OpenFirstSweepJournal(cfg Config, n int) (*Journal, error) {
+	if cfg.Journal == "" {
+		return nil, fmt.Errorf("scenario: OpenFirstSweepJournal needs a journaling Config (WithJournal)")
+	}
+	c := cfg.WithJournal(cfg.Journal, true)
+	return openSweepJournal(c, n)
+}
+
 // createJournal starts a fresh journal with its meta record.
 func createJournal(path string, meta SweepMeta) (*Journal, error) {
 	w, err := journal.Create(path)

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"time"
@@ -57,6 +58,16 @@ type Config struct {
 	// or resumes (see Options.OnProgress). cmd/anvilserved wires it to job
 	// progress streaming; observation never changes results.
 	OnProgress func(ProgressEvent)
+	// Slots, when non-nil, restricts every sweep the experiment runs to the
+	// listed replicate indices (see Options.Slots). Distributed workers use
+	// it to execute their leased share of a Shardable experiment's sweep;
+	// the replicates they do run are byte-identical to the unrestricted
+	// sweep's.
+	Slots []int
+	// OnResult, when non-nil, receives each freshly-computed replicate's
+	// canonical JSON (see Options.OnResult) — what a distributed worker
+	// uploads to its coordinator. A non-nil error fails the replicate.
+	OnResult func(rep int, raw json.RawMessage) error
 
 	// sweepSeq numbers the journaled sweeps of one experiment run in call
 	// order, which is deterministic, so a resumed run opens the same files.
@@ -92,6 +103,8 @@ func (c Config) RunOptions() Options {
 		Budget:     c.Budget,
 		BaseSeed:   c.Seed,
 		OnProgress: c.OnProgress,
+		Slots:      c.Slots,
+		OnResult:   c.OnResult,
 	}
 }
 
@@ -150,6 +163,13 @@ type Experiment struct {
 	// execute under the given Config — what listings and budget planning
 	// report. Nil means a single monolithic run.
 	Reps func(Config) int
+	// Shardable declares that Run is exactly one top-level
+	// RunReplicates/RunReplicatesSweep sweep of Reps(cfg) replicates, so a
+	// distributed coordinator may shard its replicate indices across worker
+	// processes (Config.Slots) and merge their uploads through the sweep's
+	// seq-0 checkpoint journal. Experiments with multiple sequential sweeps,
+	// or whose Reps differs from the first sweep's size, must leave it false.
+	Shardable bool
 }
 
 // EstimatedReps resolves Reps; experiments without a sweep count as one

@@ -154,6 +154,23 @@ type Options struct {
 	Resume bool
 	// Budget bounds the sweep; see Budget.
 	Budget Budget
+	// Slots, when non-nil, restricts the sweep to the listed replicate
+	// indices: replicates outside the set are skipped entirely — not
+	// executed, not resumed, not reported as progress or failure; their
+	// result slots stay zero values. Slot restriction is how a distributed
+	// worker executes its leased share of a sweep: the per-replicate work it
+	// does perform is byte-identical to the unrestricted sweep's, because a
+	// replicate's seed and inputs depend only on its index (ReplicateSeed),
+	// never on which other replicates run alongside it.
+	Slots []int
+	// OnResult, when non-nil, receives each freshly-computed replicate's
+	// canonical JSON encoding — exactly the bytes a journal Record would
+	// store, and therefore exactly the bytes a resume merges back. A
+	// distributed worker uses it to upload replicate results keyed by
+	// (spec-hash, replicate). A non-nil error fails the replicate (a result
+	// that cannot be delivered is as lost as one that was never computed);
+	// callers wanting retries classify the error Transient themselves.
+	OnResult func(rep int, raw json.RawMessage) error
 	// OnProgress, when non-nil, is invoked once per replicate that reaches
 	// its result slot — resumed replicates first (in ascending order, before
 	// any worker starts), then computed ones as they finish. It is called
@@ -317,6 +334,24 @@ func RunSweep[T any](ctx context.Context, n int, opts Options, fn func(ctx conte
 	errs := make([]*ReplicateError, n)
 	skip := make([]bool, n)
 
+	// Slot restriction: replicates outside the set are out of scope for this
+	// run — skipped before resume merging, budgets, and scheduling alike.
+	excluded := 0
+	if opts.Slots != nil {
+		inSet := make(map[int]bool, len(opts.Slots))
+		for _, s := range opts.Slots {
+			if s >= 0 && s < n {
+				inSet[s] = true
+			}
+		}
+		for rep := 0; rep < n; rep++ {
+			if !inSet[rep] {
+				skip[rep] = true
+				excluded++
+			}
+		}
+	}
+
 	// completed backs the OnProgress event counter; progress is
 	// observation-only and never read by the sweep itself.
 	var completed atomic.Int64
@@ -335,7 +370,7 @@ func RunSweep[T any](ctx context.Context, n int, opts Options, fn func(ctx conte
 	if opts.Journal != nil && opts.Resume {
 		reps, results := opts.Journal.Completed()
 		for _, rep := range reps {
-			if rep >= n {
+			if rep >= n || skip[rep] {
 				continue
 			}
 			var v T
@@ -354,7 +389,7 @@ func RunSweep[T any](ctx context.Context, n int, opts Options, fn func(ctx conte
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	pending := n - status.Resumed
+	pending := n - status.Resumed - excluded
 	if workers > pending {
 		workers = pending
 	}
@@ -454,17 +489,34 @@ func RunSweep[T any](ctx context.Context, n int, opts Options, fn func(ctx conte
 			val, rerr := attemptOne(rep)
 			if rerr == nil {
 				out[rep] = val
-				if opts.Journal != nil {
+				if opts.Journal != nil || opts.OnResult != nil {
 					raw, err := json.Marshal(val)
-					if err == nil {
-						err = opts.Journal.Record(rep, raw, attempt-1)
+					if err == nil && opts.Journal != nil {
+						if jerr := opts.Journal.Record(rep, raw, attempt-1); jerr != nil {
+							err = fmt.Errorf("journaling result: %w", jerr)
+						}
+					}
+					if err == nil && opts.OnResult != nil {
+						// Delivery failure fails the replicate: a result
+						// that never reached its consumer is as lost as one
+						// never computed. OnResult errors marked Transient
+						// re-enter the retry loop like any other failure.
+						err = opts.OnResult(rep, raw)
 					}
 					if err != nil {
 						// A checkpoint that cannot be written is a real
 						// failure: resuming would silently re-run this
 						// replicate at best, corrupt the journal at worst.
-						errs[rep] = &ReplicateError{Rep: rep, Err: fmt.Errorf("journaling result: %w", err), Attempts: attempt}
-						return
+						rerr = &ReplicateError{Rep: rep, Err: err, Attempts: attempt}
+						last = rerr
+						if attempt > opts.MaxRetries || !Transient(err) || ctx.Err() != nil {
+							break
+						}
+						retries.Add(1)
+						if !sleepBackoff(ctx, RetryDelay(opts, rep, attempt)) {
+							break
+						}
+						continue
 					}
 				}
 				notify(rep, false)

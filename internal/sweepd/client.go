@@ -4,11 +4,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
 	"time"
+
+	"repro/internal/scenario"
 )
 
 // A StatusError is a non-2xx API response, carrying the HTTP code so
@@ -34,6 +37,23 @@ type Client struct {
 	APIKey string
 	// HTTPClient overrides http.DefaultClient.
 	HTTPClient *http.Client
+	// MaxRetries, when positive, re-issues requests that failed transiently
+	// — transport errors (connection refused, resets, lost responses) and
+	// 429/503 responses — up to this many extra times. Backoff is seeded
+	// exponential jitter (scenario.RetryDelay rooted at RetrySeed), raised
+	// to the server's Retry-After hint when one is present, and always
+	// bounded by the request context: a context that expires mid-backoff
+	// ends the retrying immediately. Zero keeps the old single-shot
+	// behaviour — interactive callers usually want errors loudly, daemons
+	// set this.
+	MaxRetries int
+	// RetryBase is the first retry's base backoff; zero means
+	// scenario.DefaultRetryBackoff.
+	RetryBase time.Duration
+	// RetrySeed roots the backoff jitter stream, so a fleet of workers
+	// seeded differently never thunders in phase and a replayed run backs
+	// off identically.
+	RetrySeed uint64
 }
 
 func (c *Client) http() *http.Client {
@@ -43,9 +63,63 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
-// do issues one request and decodes a JSON body into out (when non-nil).
-// Non-2xx responses come back as *StatusError.
+// errClientTransport tags request failures that happened below HTTP —
+// dialing, writing, reading the response — where the server may or may not
+// have processed the request. They are the retryable class (the API is
+// idempotent), as opposed to decode errors, which a retry cannot fix.
+var errClientTransport = errors.New("sweepd: transport error")
+
+// retryDelay classifies err after a failed attempt (1-based) and returns
+// how long to back off before retrying, or ok=false for errors retrying
+// cannot help.
+func (c *Client) retryDelay(err error, attempt int) (time.Duration, bool) {
+	d := scenario.RetryDelay(scenario.Options{RetryBackoff: c.RetryBase, BaseSeed: c.RetrySeed}, 0, attempt)
+	var se *StatusError
+	switch {
+	case errors.As(err, &se):
+		if se.Code != http.StatusTooManyRequests && se.Code != http.StatusServiceUnavailable {
+			return 0, false
+		}
+		if se.RetryAfter > d {
+			d = se.RetryAfter
+		}
+		return d, true
+	case errors.Is(err, errClientTransport):
+		return d, true
+	}
+	return 0, false
+}
+
+// retry runs one request function under the client's retry policy.
+func (c *Client) retry(ctx context.Context, fn func() error) error {
+	for attempt := 1; ; attempt++ {
+		err := fn()
+		if err == nil || attempt > c.MaxRetries || ctx.Err() != nil {
+			return err
+		}
+		d, ok := c.retryDelay(err, attempt)
+		if !ok {
+			return err
+		}
+		//lint:allow detrand retry backoff is host wall-clock by design
+		t := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return err
+		case <-t.C:
+		}
+	}
+}
+
+// do issues one request under the retry policy and decodes a JSON body into
+// out (when non-nil). Non-2xx responses come back as *StatusError.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	return c.retry(ctx, func() error { return c.doOnce(ctx, method, path, body, out) })
+}
+
+// doOnce is a single request attempt.
+func (c *Client) doOnce(ctx context.Context, method, path string, body, out any) error {
 	var rd io.Reader
 	if body != nil {
 		raw, err := json.Marshal(body)
@@ -66,22 +140,69 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
-		return err
+		return fmt.Errorf("%w: %w", errClientTransport, err)
 	}
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return err
+		return fmt.Errorf("%w: reading response: %w", errClientTransport, err)
 	}
 	if resp.StatusCode/100 != 2 {
 		return statusError(resp, raw)
 	}
-	if out != nil {
+	if out != nil && len(raw) > 0 {
 		if err := json.Unmarshal(raw, out); err != nil {
 			return fmt.Errorf("sweepd: decoding %s %s response: %w", method, path, err)
 		}
 	}
 	return nil
+}
+
+// ClaimLease asks the coordinator for a slot lease. (nil, nil) means no
+// shardable work is available right now — poll again later.
+func (c *Client) ClaimLease(ctx context.Context, worker string, maxSlots int) (*ClaimResponse, error) {
+	var grant ClaimResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/leases/claim",
+		ClaimRequest{Worker: worker, MaxSlots: maxSlots}, &grant); err != nil {
+		return nil, err
+	}
+	if grant.LeaseID == "" { // 204: nothing to do
+		return nil, nil
+	}
+	return &grant, nil
+}
+
+// RenewLease heartbeats a lease, returning the refreshed TTL. A 410 comes
+// back as a *StatusError with Code http.StatusGone: the lease expired and
+// its slots belong to someone else now.
+func (c *Client) RenewLease(ctx context.Context, id string) (time.Duration, error) {
+	var r RenewResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/leases/"+id+"/renew", struct{}{}, &r); err != nil {
+		return 0, err
+	}
+	return time.Duration(r.TTLMS) * time.Millisecond, nil
+}
+
+// UploadResult delivers one computed replicate. Safe to repeat: a slot that
+// already has a result acknowledges as a duplicate.
+func (c *Client) UploadResult(ctx context.Context, leaseID string, req UploadRequest) (UploadResponse, error) {
+	var ack UploadResponse
+	err := c.do(ctx, http.MethodPost, "/v1/leases/"+leaseID+"/results", req, &ack)
+	return ack, err
+}
+
+// ReleaseLease gives a lease back explicitly. Idempotent; releasing an
+// already-expired lease is fine.
+func (c *Client) ReleaseLease(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodPost, "/v1/leases/"+id+"/release", struct{}{}, nil)
+}
+
+// IsGone reports whether err is the server saying 410: the lease or the
+// job's distribution phase no longer exists, so the worker should abandon
+// the lease and claim afresh.
+func IsGone(err error) bool {
+	var se *StatusError
+	return errors.As(err, &se) && se.Code == http.StatusGone
 }
 
 // statusError builds the typed error for a non-2xx response.
@@ -120,10 +241,20 @@ func (c *Client) Quota(ctx context.Context) (QuotaStatus, error) {
 	return q, err
 }
 
-// Result fetches a finished job's artifact bytes. A job that is not ready —
-// still queued/running, or re-queued for recompute after a corrupt artifact
-// read — returns (nil, status, nil); a failed job returns a *StatusError.
-func (c *Client) Result(ctx context.Context, id string) ([]byte, JobStatus, error) {
+// Result fetches a finished job's artifact bytes, retrying transient
+// failures under the client's retry policy. A job that is not ready — still
+// queued/running, or re-queued for recompute after a corrupt artifact read —
+// returns (nil, status, nil); a failed job returns a *StatusError.
+func (c *Client) Result(ctx context.Context, id string) (data []byte, st JobStatus, err error) {
+	err = c.retry(ctx, func() error {
+		data, st, err = c.resultOnce(ctx, id)
+		return err
+	})
+	return data, st, err
+}
+
+// resultOnce is a single artifact fetch attempt.
+func (c *Client) resultOnce(ctx context.Context, id string) ([]byte, JobStatus, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		strings.TrimRight(c.Base, "/")+"/v1/jobs/"+id+"/result", nil)
 	if err != nil {
@@ -134,12 +265,12 @@ func (c *Client) Result(ctx context.Context, id string) ([]byte, JobStatus, erro
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
-		return nil, JobStatus{}, err
+		return nil, JobStatus{}, fmt.Errorf("%w: %w", errClientTransport, err)
 	}
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, JobStatus{}, err
+		return nil, JobStatus{}, fmt.Errorf("%w: reading response: %w", errClientTransport, err)
 	}
 	switch resp.StatusCode {
 	case http.StatusOK:

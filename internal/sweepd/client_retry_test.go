@@ -1,0 +1,153 @@
+package sweepd
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/netchaos"
+)
+
+// flakyHandler fails the first n requests with code (plus an optional
+// Retry-After), then delegates to ok.
+func flakyHandler(n *atomic.Int64, fails int64, code int, retryAfter string, ok http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1) <= fails {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			writeErr(w, code, "induced failure %d", n.Load())
+			return
+		}
+		ok.ServeHTTP(w, r)
+	})
+}
+
+func okStatus(t *testing.T) http.Handler {
+	t.Helper()
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, JobStatus{ID: "j-000001", State: StateDone})
+	})
+}
+
+// TestClientRetries503: a server that 503s twice then recovers is invisible
+// to a retrying client, and the failed attempts are counted, not skipped.
+func TestClientRetries503(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(flakyHandler(&hits, 2, http.StatusServiceUnavailable, "", okStatus(t)))
+	defer srv.Close()
+	c := &Client{Base: srv.URL, MaxRetries: 3, RetryBase: time.Millisecond}
+	st, err := c.Job(context.Background(), "j-000001")
+	if err != nil {
+		t.Fatalf("retrying client surfaced a transient 503: %v", err)
+	}
+	if st.State != StateDone || hits.Load() != 3 {
+		t.Fatalf("state %s after %d requests, want done after 3", st.State, hits.Load())
+	}
+}
+
+// TestClientHonorsRetryAfter: the server's Retry-After is a floor under the
+// client's own backoff.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(flakyHandler(&hits, 1, http.StatusTooManyRequests, "1", okStatus(t)))
+	defer srv.Close()
+	c := &Client{Base: srv.URL, MaxRetries: 2, RetryBase: time.Millisecond}
+	start := time.Now()
+	if _, err := c.Job(context.Background(), "j-000001"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("client retried after %v, before the server's Retry-After of 1s", elapsed)
+	}
+}
+
+// TestClientDoesNotRetryClientErrors: 4xx (other than 429) means the request
+// itself is wrong; retrying would just repeat the mistake.
+func TestClientDoesNotRetryClientErrors(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(flakyHandler(&hits, 99, http.StatusNotFound, "", okStatus(t)))
+	defer srv.Close()
+	c := &Client{Base: srv.URL, MaxRetries: 5, RetryBase: time.Millisecond}
+	_, err := c.Job(context.Background(), "j-missing")
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusNotFound {
+		t.Fatalf("want a 404 StatusError, got %v", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("client issued %d requests for a 404, want exactly 1", hits.Load())
+	}
+}
+
+// TestClientRetriesTransportFaults: seeded request drops from a chaos
+// transport — including drop-after faults where the server processed the
+// request — are absorbed by the retry loop.
+func TestClientRetriesTransportFaults(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(flakyHandler(&hits, 0, 0, "", okStatus(t)))
+	defer srv.Close()
+	tr := netchaos.NewTransport(nil, netchaos.Faults{Seed: 5, DropBefore: 0.4, DropAfter: 0.2})
+	c := &Client{
+		Base:       srv.URL,
+		HTTPClient: &http.Client{Transport: tr},
+		MaxRetries: 16,
+		RetryBase:  time.Millisecond,
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := c.Job(context.Background(), "j-000001"); err != nil {
+			t.Fatalf("request %d through the chaos transport: %v (%d faults injected)", i, err, tr.Injected())
+		}
+	}
+	if tr.Injected() == 0 {
+		t.Fatal("the chaos transport injected nothing; the test proved nothing")
+	}
+}
+
+// TestClientRetryBoundedByContext: a context that expires mid-backoff stops
+// the retrying immediately — no sleeping past the caller's deadline.
+func TestClientRetryBoundedByContext(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(flakyHandler(&hits, 99, http.StatusServiceUnavailable, "30", okStatus(t)))
+	defer srv.Close()
+	c := &Client{Base: srv.URL, MaxRetries: 100, RetryBase: 10 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Job(ctx, "j-000001")
+	if err == nil {
+		t.Fatal("want an error once the context expires")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("retry loop outlived its context by %v", elapsed)
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("want the last attempt's 503, got %v", err)
+	}
+}
+
+// TestClientResultRetries: the artifact fetch path shares the retry policy.
+func TestClientResultRetries(t *testing.T) {
+	var hits atomic.Int64
+	ok := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("X-Job-State", string(StateDone))
+		w.Write([]byte(`{"data":1}`)) //nolint:errcheck // test handler
+	})
+	srv := httptest.NewServer(flakyHandler(&hits, 2, http.StatusServiceUnavailable, "", ok))
+	defer srv.Close()
+	c := &Client{Base: srv.URL, MaxRetries: 3, RetryBase: time.Millisecond}
+	data, st, err := c.Result(context.Background(), "j-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"data":1}` || st.State != StateDone {
+		t.Fatalf("result %q state %s after retries", data, st.State)
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("server saw %d requests, want 3", hits.Load())
+	}
+}

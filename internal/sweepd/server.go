@@ -34,6 +34,23 @@ type ServerOptions struct {
 	Parallel int
 	// Quota is the per-caller admission limit; the zero value is unlimited.
 	Quota Quota
+	// Distribute opens the worker lease plane (POST /v1/leases/...): jobs
+	// whose experiment is Shardable get a distribution phase where external
+	// worker processes claim replicate slot leases, compute them, and upload
+	// results into the job's sweep journal. Off by default — a coordinator
+	// with no workers pointed at it would only pay the grace window.
+	Distribute bool
+	// LeaseTTL is how long a slot lease survives without a heartbeat before
+	// its slots are reassigned; zero means DefaultLeaseTTL.
+	LeaseTTL time.Duration
+	// LeaseChunk caps how many slots one claim grants; zero means
+	// DefaultLeaseChunk.
+	LeaseChunk int
+	// WorkerGrace is how long a sharded job's distribution phase idles (no
+	// claim, renewal or upload) before the coordinator gives up on workers
+	// and computes the remaining slots in-process; zero means
+	// DefaultWorkerGrace.
+	WorkerGrace time.Duration
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -42,8 +59,9 @@ type ServerOptions struct {
 // serves the HTTP/JSON API. Create with NewServer, start workers with
 // Start, stop with Drain.
 type Server struct {
-	store *Store
-	opts  ServerOptions
+	store  *Store
+	opts   ServerOptions
+	leases *leaseTable
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -67,7 +85,10 @@ func NewServer(store *Store, opts ServerOptions) *Server {
 	if opts.Workers <= 0 {
 		opts.Workers = 1
 	}
-	s := &Server{store: store, opts: opts}
+	if opts.WorkerGrace <= 0 {
+		opts.WorkerGrace = DefaultWorkerGrace
+	}
+	s := &Server{store: store, opts: opts, leases: newLeaseTable(opts.LeaseTTL, opts.LeaseChunk)}
 	s.cond = sync.NewCond(&s.mu)
 	s.runCtx, s.cancel = context.WithCancel(context.Background())
 	s.queue = append(s.queue, store.Pending()...)
@@ -78,6 +99,10 @@ func NewServer(store *Store, opts ServerOptions) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/quota", s.handleQuota)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /v1/leases/claim", s.handleClaim)
+	s.mux.HandleFunc("POST /v1/leases/{id}/renew", s.handleRenew)
+	s.mux.HandleFunc("POST /v1/leases/{id}/results", s.handleUpload)
+	s.mux.HandleFunc("POST /v1/leases/{id}/release", s.handleRelease)
 	return s
 }
 
@@ -306,11 +331,26 @@ func (s *Server) handleQuota(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// healthz is the GET /v1/healthz body.
+// healthz is the GET /v1/healthz body — a readiness probe, not just a
+// liveness ping: queue pressure, drain state, the lease plane's size, and
+// whether the job journal still accepts writes. The JSON shape is golden-
+// tested; extend it, never rename it.
 type healthz struct {
+	// Status is "ok" when the server accepts work, "draining" during
+	// shutdown. Ready means Status == "ok" and Journal == "ok".
 	Status   string `json:"status"`
 	Draining bool   `json:"draining,omitempty"`
-	Queued   int    `json:"queued"`
+	// Queued is the external submission queue's depth (bounded by
+	// QueueDepth).
+	Queued int `json:"queued"`
+	// ActiveLeases counts live worker slot leases; ShardedJobs counts jobs
+	// currently in their distribution phase.
+	ActiveLeases int `json:"active_leases"`
+	ShardedJobs  int `json:"sharded_jobs"`
+	// Journal is "ok" when the job journal syncs, else the sync error — a
+	// wedged disk or lost lock turns the probe not-ready instead of letting
+	// jobs fail one by one.
+	Journal string `json:"journal"`
 }
 
 // handleHealthz is GET /v1/healthz.
@@ -318,7 +358,90 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	h := healthz{Status: "ok", Draining: s.draining, Queued: len(s.queue)}
 	s.mu.Unlock()
+	if h.Draining {
+		h.Status = "draining"
+	}
+	//lint:allow detrand lease expiry is host wall-clock by definition
+	h.ActiveLeases, h.ShardedJobs = s.leases.counts(time.Now())
+	if err := s.store.Sync(); err != nil {
+		h.Journal = err.Error()
+	} else {
+		h.Journal = "ok"
+	}
 	writeJSON(w, http.StatusOK, h)
+}
+
+// handleClaim is POST /v1/leases/claim: grant a worker its next slot range.
+// 204 means no shardable work right now — poll again after Retry-After.
+func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
+	if !s.opts.Distribute {
+		writeErr(w, http.StatusNotFound, "distribution is disabled on this server")
+		return
+	}
+	var req ClaimRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding claim: %v", err)
+		return
+	}
+	if req.Worker == "" {
+		req.Worker = callerOf(r)
+	}
+	//lint:allow detrand lease expiry is host wall-clock by definition
+	grant, ok := s.leases.claim(req.Worker, req.MaxSlots, time.Now())
+	if !ok {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	s.logf("lease %s: job %s slots %v -> worker %s", grant.LeaseID, grant.JobID, grant.Slots, req.Worker)
+	writeJSON(w, http.StatusOK, grant)
+}
+
+// handleRenew is POST /v1/leases/{id}/renew: a worker heartbeat. 410 means
+// the lease already expired and its slots were reassigned — the worker must
+// abandon them and claim afresh.
+func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	//lint:allow detrand lease expiry is host wall-clock by definition
+	ttl, ok := s.leases.renew(id, time.Now())
+	if !ok {
+		writeErr(w, http.StatusGone, "lease %s expired or never existed; re-claim", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, RenewResponse{TTLMS: ttl.Milliseconds()})
+}
+
+// handleUpload is POST /v1/leases/{id}/results: one computed replicate.
+// Idempotency is keyed by (job, replicate), deliberately not by lease: a
+// zombie worker whose lease was reassigned mid-replicate still delivers
+// valid bytes (replicates are deterministic), so its late upload is either
+// the first — journaled and charged once — or a duplicate no-op. 410 means
+// the job's distribution phase is over; the result is no longer wanted.
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	var req UploadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding upload: %v", err)
+		return
+	}
+	//lint:allow detrand lease expiry is host wall-clock by definition
+	ack, err := s.leases.upload(req.JobID, req.Replicate, req.Result, time.Now())
+	switch {
+	case errors.Is(err, errGone):
+		writeErr(w, http.StatusGone, "job %s is not distributing", req.JobID)
+		return
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ack)
+}
+
+// handleRelease is POST /v1/leases/{id}/release: a worker giving its lease
+// back explicitly (graceful shutdown, or all slots uploaded). Idempotent.
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	//lint:allow detrand lease expiry is host wall-clock by definition
+	s.leases.release(r.PathValue("id"), time.Now())
+	writeJSON(w, http.StatusOK, struct{}{})
 }
 
 // worker executes queued jobs until drain.
@@ -373,6 +496,30 @@ func (s *Server) runJob(job *Job) {
 	}
 
 	job.resetProgress()
+	//lint:allow detrand job wall-clock accounting is host-side by definition; never read by simulated code
+	start := time.Now()
+
+	// Distribution phase: shardable jobs first offer their replicate slots
+	// to external workers; whatever the workers upload lands in the sweep
+	// journal, and the finalizing run below merges it exactly like resumed
+	// work. Whatever never arrived — no workers, killed workers, a partition
+	// — the finalizing run computes in-process: distribution is an
+	// accelerator, never a correctness dependency.
+	uploaded := s.distribute(job, exp, sweepDir)
+	if s.runCtx.Err() != nil {
+		s.logf("job %s: distribution interrupted by drain; will resume", job.ID)
+		return
+	}
+
+	onProgress := job.observe
+	if len(uploaded) > 0 {
+		onProgress = func(ev scenario.ProgressEvent) {
+			if ev.Resumed && uploaded[ev.Rep] {
+				return // counted, as fresh work, when the worker uploaded it
+			}
+			job.observe(ev)
+		}
+	}
 	cfg := scenario.Config{
 		Quick:      job.Spec.Quick,
 		Seed:       job.Spec.Seed,
@@ -381,12 +528,10 @@ func (s *Server) runJob(job *Job) {
 		Budget:     scenario.Budget{Replicates: job.Spec.BudgetReplicates},
 		Sweep:      job.Spec.Experiment,
 		Ctx:        s.runCtx,
-		OnProgress: job.observe,
+		OnProgress: onProgress,
 	}.WithJournal(sweepDir, true)
 	job.setTotal(exp.EstimatedReps(cfg))
 
-	//lint:allow detrand job wall-clock accounting is host-side by definition; never read by simulated code
-	start := time.Now()
 	res, runErr := exp.Run(cfg)
 	//lint:allow detrand job wall-clock accounting is host-side by definition; never read by simulated code
 	wall := time.Since(start)
@@ -416,6 +561,81 @@ func (s *Server) runJob(job *Job) {
 		s.finish(job, StateTruncated, runErr.Error(), artifact, wall)
 	default:
 		s.finish(job, StateFailed, runErr.Error(), nil, wall)
+	}
+}
+
+// shardPollInterval paces the coordinator's distribution-phase wait loop.
+const shardPollInterval = 10 * time.Millisecond
+
+// distribute runs a job's distribution phase, returning the set of
+// replicate slots worker uploads filled this run (empty or nil when the job
+// is not distributable or no worker delivered anything). It returns when
+// every slot has a journaled result, when the lease plane has been idle for
+// the worker grace window with no live leases, or at drain.
+//
+// Only jobs that reduce to exactly one replicate sweep with no truncation
+// knobs distribute: a replicate budget or timeout changes which slots run
+// (or whether they finish) based on coordinator-local state that a worker
+// cannot see, so those jobs stay in-process to keep their bytes identical.
+func (s *Server) distribute(job *Job, exp scenario.Experiment, sweepDir string) map[int]bool {
+	if !s.opts.Distribute || !exp.Shardable ||
+		job.Spec.BudgetReplicates != 0 || job.Spec.TimeoutMS != 0 {
+		return nil
+	}
+	cfg := scenario.Config{
+		Quick: job.Spec.Quick,
+		Seed:  job.Spec.Seed,
+		Sweep: job.Spec.Experiment,
+	}.WithJournal(sweepDir, true)
+	n := exp.EstimatedReps(cfg)
+	if n <= 0 {
+		return nil
+	}
+	j, err := scenario.OpenFirstSweepJournal(cfg, n)
+	if err != nil {
+		s.logf("job %s: opening shard journal: %v; running in-process", job.ID, err)
+		return nil
+	}
+	pre, _ := j.Completed()
+	job.setTotal(n)
+	//lint:allow detrand lease expiry is host wall-clock by definition
+	s.leases.register(job, n, j, pre, time.Now())
+	s.logf("job %s: distributing %d replicates (%d already journaled)", job.ID, n, len(pre))
+
+	var uploaded map[int]bool
+	// The journal handle must close before the finalizing exp.Run reopens
+	// the file (the append lock is exclusive), and unregister must come
+	// first so no upload races the close.
+	finishPhase := func() map[int]bool {
+		uploaded = s.leases.unregister(job.ID)
+		if cerr := j.Close(); cerr != nil {
+			s.logf("job %s: closing shard journal: %v", job.ID, cerr)
+		}
+		if len(uploaded) > 0 {
+			s.logf("job %s: workers delivered %d replicates %v", job.ID, len(uploaded), sortedSlots(uploaded))
+		}
+		return uploaded
+	}
+
+	//lint:allow detrand lease-plane polling cadence is host wall-clock by definition
+	ticker := time.NewTicker(shardPollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.runCtx.Done():
+			return finishPhase()
+		case <-ticker.C:
+		}
+		//lint:allow detrand lease expiry is host wall-clock by definition
+		p, ok := s.leases.poll(job.ID, time.Now())
+		if !ok || p.remaining == 0 {
+			return finishPhase()
+		}
+		if p.active == 0 && p.idle >= s.opts.WorkerGrace {
+			s.logf("job %s: no worker activity for %v with %d slots left; computing in-process",
+				job.ID, p.idle.Round(time.Millisecond), p.remaining)
+			return finishPhase()
+		}
 	}
 }
 

@@ -72,16 +72,18 @@ func mkSweepRun(name string, n int, delay time.Duration) func(scenario.Config) (
 
 func init() {
 	scenario.Register(scenario.Experiment{
-		Name: expFast,
-		Desc: "sweepd test: instant 4-replicate sweep",
-		Run:  mkSweepRun(expFast, fastReps, 0),
-		Reps: func(scenario.Config) int { return fastReps },
+		Name:      expFast,
+		Desc:      "sweepd test: instant 4-replicate sweep",
+		Run:       mkSweepRun(expFast, fastReps, 0),
+		Reps:      func(scenario.Config) int { return fastReps },
+		Shardable: true, // single top-level sweep
 	})
 	scenario.Register(scenario.Experiment{
-		Name: expChaos,
-		Desc: "sweepd test: slow 16-replicate sweep for kill windows",
-		Run:  mkSweepRun(expChaos, chaosReps, 40*time.Millisecond),
-		Reps: func(scenario.Config) int { return chaosReps },
+		Name:      expChaos,
+		Desc:      "sweepd test: slow 16-replicate sweep for kill windows",
+		Run:       mkSweepRun(expChaos, chaosReps, 40*time.Millisecond),
+		Reps:      func(scenario.Config) int { return chaosReps },
+		Shardable: true, // single top-level sweep
 	})
 	scenario.Register(scenario.Experiment{
 		Name: expBlock,
